@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Benchmarks default to the ``smoke`` scale so the whole suite finishes in a
+few minutes; set ``REPRO_BENCH_SCALE=medium`` (or ``paper``) to rerun any
+figure at higher fidelity.  Figures 5–8 all reduce the same raw
+(UL x eps x instance) grid, exactly as in the paper, so the grid is
+computed once per session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.runner import run_eps_grid
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+#: Axes used by the benchmark suite (paper axes are supersets).
+BENCH_ULS = (2.0, 8.0)
+BENCH_EPSILONS = (1.0, 1.4, 2.0)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(scale=SCALES[BENCH_SCALE], seed=20060925)
+
+
+@pytest.fixture(scope="session")
+def eps_grid(bench_config):
+    """The shared (UL, eps, instance) raw-outcome grid for Figs. 5-8."""
+    return run_eps_grid(bench_config, BENCH_ULS, BENCH_EPSILONS)

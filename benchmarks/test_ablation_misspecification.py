@@ -1,0 +1,68 @@
+"""Ablation A6: does the robustness gain survive distribution misspecification?
+
+The paper's uncertainty model is uniform; real duration noise rarely is.
+All families here share the support and the mean (so the scheduler's
+expected-time view is identical); only the realized *shape* changes.  If
+the slack mechanism is sound, the ε = 1.0 GA's robustness edge over HEFT
+should persist under bell-shaped (beta) and bimodal noise — slack absorbs
+bounded delays regardless of their distribution (Theorem 3.4 is
+distribution-free).
+"""
+
+import numpy as np
+
+from repro.core.robust import RobustScheduler
+from repro.experiments.workloads import make_problems
+from repro.heuristics.heft import HeftScheduler
+from repro.robustness.montecarlo import assess_robustness
+from repro.utils.tables import format_table
+
+FAMILIES = ("uniform", "beta", "bimodal")
+
+
+def _run(bench_config):
+    problems = make_problems(bench_config, 4.0)
+    n_real = bench_config.scale.n_realizations
+    rows = []
+    tardiness_delta = {f: [] for f in FAMILIES}
+    for i, problem in enumerate(problems):
+        heft = HeftScheduler().schedule(problem)
+        robust = RobustScheduler(
+            epsilon=1.0, params=bench_config.ga_params(), rng=i
+        ).solve(problem).schedule
+        for family in FAMILIES:
+            heft_rep = assess_robustness(heft, n_real, rng=7 * i, family=family)
+            ga_rep = assess_robustness(robust, n_real, rng=7 * i + 1, family=family)
+            rows.append(
+                [i, family, heft_rep.mean_tardiness, ga_rep.mean_tardiness]
+            )
+            tardiness_delta[family].append(
+                heft_rep.mean_tardiness - ga_rep.mean_tardiness
+            )
+    return rows, tardiness_delta
+
+
+def test_ablation_misspecification(benchmark, bench_config):
+    rows, tardiness_delta = benchmark.pedantic(
+        lambda: _run(bench_config), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["inst", "family", "HEFT tardiness", "GA tardiness"],
+            rows,
+            title="Ablation A6 — robustness gain under duration-shape "
+            "misspecification (eps=1.0, UL=4)",
+        )
+    )
+    means = {f: float(np.mean(v)) for f, v in tardiness_delta.items()}
+    print("\nmean tardiness reduction (HEFT - GA) per family:", means)
+    # Sanity across all families: every tardiness is finite and in range.
+    for row in rows:
+        assert 0.0 <= row[2] < 10.0
+        assert 0.0 <= row[3] < 10.0
+    # The sign of the gain should not flip dramatically across families:
+    # if the GA helps under the uniform model, the non-uniform deltas must
+    # not be large regressions (>= uniform delta minus noise allowance).
+    for family in ("beta", "bimodal"):
+        assert means[family] >= means["uniform"] - 0.05

@@ -1,0 +1,33 @@
+"""Fig. 4: improvement over HEFT at ε = 1.0.
+
+The ε-constraint GA, forbidden from exceeding HEFT's expected makespan,
+still buys robustness: R1 improves most at low UL (paper: ~13 % at
+UL = 2), R2 improves less, and the realized makespan is no worse than
+HEFT's.
+"""
+
+from benchmarks.conftest import BENCH_ULS
+from repro.experiments.eps_one import run_eps_one
+
+
+def test_fig4_improvement_over_heft(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: run_eps_one(bench_config, uls=(2.0, 4.0, 6.0, 8.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+
+    # Makespan: the GA is constrained to HEFT's expected makespan and seeded
+    # with HEFT, so the realized mean cannot collapse below the baseline.
+    assert all(m > -0.05 for m in result.makespan)
+
+    # Robustness gain exists at low uncertainty (the paper's headline 13 %
+    # at UL = 2 corresponds to +0.12 in log ratio; smoke scale is noisier,
+    # so require it to be clearly positive).
+    assert result.r1[0] > 0.02
+
+    # The low-UL gain exceeds the high-UL gain ("the improvement is less
+    # significant at larger uncertainty level").
+    assert result.r1[0] > result.r1[-1] - 0.02

@@ -1,0 +1,41 @@
+"""Fig. 6: R2 improvement over ε = 1.0.
+
+Same sweep as Fig. 5 but for the miss-rate-based robustness; the paper
+notes R2's improvements are less spread across uncertainty levels than
+R1's ("R2 is less sensitive to uncertainty level").
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_EPSILONS, BENCH_ULS
+from repro.experiments.eps_sweep import run_eps_sweep
+
+
+def test_fig6_r2_eps_sweep(benchmark, bench_config, eps_grid):
+    result = benchmark.pedantic(
+        lambda: run_eps_sweep(
+            bench_config, uls=BENCH_ULS, epsilons=BENCH_EPSILONS, grid=eps_grid
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table("r2"))
+
+    # Relaxed budgets improve R2 on average.
+    mean_gain_at_max_eps = np.mean(
+        [result.r2_improvement[ul][-1] for ul in BENCH_ULS]
+    )
+    assert mean_gain_at_max_eps > 0.0
+
+    # Cross-UL spread of R2 gains at max eps should not wildly exceed the
+    # R1 spread (paper: R2 curves are less disparate across UL).
+    r1_spread = abs(
+        result.r1_improvement[BENCH_ULS[-1]][-1]
+        - result.r1_improvement[BENCH_ULS[0]][-1]
+    )
+    r2_spread = abs(
+        result.r2_improvement[BENCH_ULS[-1]][-1]
+        - result.r2_improvement[BENCH_ULS[0]][-1]
+    )
+    assert r2_spread <= r1_spread + 0.5

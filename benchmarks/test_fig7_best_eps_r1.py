@@ -1,0 +1,38 @@
+"""Fig. 7: best ε for overall performance P(s) with robustness = R1.
+
+The overall performance (Eqn. 9) weights makespan against robustness with
+a user knob r.  The paper's shape: the optimal ε decreases as r grows
+(makespan emphasis forbids buying slack) — at r = 1 the best ε is the
+smallest available.
+"""
+
+from benchmarks.conftest import BENCH_EPSILONS, BENCH_ULS
+from repro.experiments.best_eps import run_best_eps
+
+R_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig7_best_eps_r1(benchmark, bench_config, eps_grid):
+    result = benchmark.pedantic(
+        lambda: run_best_eps(
+            bench_config,
+            uls=BENCH_ULS,
+            epsilons=BENCH_EPSILONS,
+            r_grid=R_GRID,
+            grid=eps_grid,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table("r1"))
+
+    for ul in BENCH_ULS:
+        picks = result.best_eps_r1[ul]
+        # r = 1.0 (makespan only): larger eps can only hurt, so min eps wins.
+        assert picks[-1] == min(BENCH_EPSILONS)
+        # Overall trend: best eps at r = 0 is at least the best eps at r = 1.
+        assert picks[0] >= picks[-1]
+
+    # Per-(ul, r) performance curves exist for every cell.
+    assert len(result.mean_performance_r1) == len(BENCH_ULS) * len(R_GRID)

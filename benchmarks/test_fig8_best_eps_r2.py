@@ -1,0 +1,35 @@
+"""Fig. 8: best ε for overall performance P(s) with robustness = R2.
+
+Same experiment as Fig. 7 with the miss-rate-based robustness; the same
+monotone trend in r must hold.
+"""
+
+from benchmarks.conftest import BENCH_EPSILONS, BENCH_ULS
+from repro.experiments.best_eps import run_best_eps
+
+R_GRID = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_fig8_best_eps_r2(benchmark, bench_config, eps_grid):
+    result = benchmark.pedantic(
+        lambda: run_best_eps(
+            bench_config,
+            uls=BENCH_ULS,
+            epsilons=BENCH_EPSILONS,
+            r_grid=R_GRID,
+            grid=eps_grid,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table("r2"))
+
+    for ul in BENCH_ULS:
+        picks = result.best_eps_r2[ul]
+        assert picks[-1] == min(BENCH_EPSILONS)  # r = 1.0
+        assert picks[0] >= picks[-1]  # decreasing trend in r
+
+    # With r = 0 (robustness only), relaxing eps should pay off at high UL:
+    # best eps at UL=8 should not be the minimum.
+    assert result.best_eps_r2[BENCH_ULS[-1]][0] > min(BENCH_EPSILONS)

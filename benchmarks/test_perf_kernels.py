@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+These are real timing benchmarks (multiple rounds), covering the paths
+the GA and Monte-Carlo evaluation hammer: schedule construction, static
+evaluation, vectorized batch makespans, one GA generation, and HEFT.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.ga.engine import GAParams, GeneticScheduler
+from repro.ga.fitness import SlackFitness
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.heuristics.random_sched import random_schedule
+from repro.platform.uncertainty import UncertaintyParams
+from repro.schedule.evaluation import batch_makespans, evaluate
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture(scope="module")
+def paper_problem():
+    """A paper-sized instance: 100 tasks, 4 processors, UL = 2."""
+    return SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=100),
+        uncertainty_params=UncertaintyParams(mean_ul=2.0),
+        rng=0,
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_schedule(paper_problem):
+    return HeftScheduler().schedule(paper_problem)
+
+
+def test_perf_schedule_construction(benchmark, paper_problem, paper_schedule):
+    orders = [list(t) for t in paper_schedule.proc_orders]
+    result = benchmark(lambda: Schedule(paper_problem, orders))
+    assert result.n == 100
+
+
+def test_perf_static_evaluation(benchmark, paper_problem, paper_schedule):
+    durations = paper_schedule.expected_durations()
+    result = benchmark(lambda: evaluate(paper_schedule, durations))
+    assert result.makespan > 0
+
+
+def test_perf_batch_makespans_1000(benchmark, paper_schedule):
+    """The paper's Monte-Carlo unit: 1000 realizations of one schedule."""
+    durations = paper_schedule.realize_durations(1000, rng=1)
+    out = benchmark(lambda: batch_makespans(paper_schedule, durations))
+    assert out.shape == (1000,)
+
+
+def test_perf_heft_100_tasks(benchmark, paper_problem):
+    schedule = benchmark(lambda: HeftScheduler().schedule(paper_problem))
+    assert schedule.n == 100
+
+
+def test_perf_ga_generation(benchmark, paper_problem):
+    """Cost of one full GA generation at the paper's population size."""
+    params = GAParams(max_iterations=1, stagnation_limit=100)
+
+    def one_generation():
+        return GeneticScheduler(SlackFitness(), params, rng=2).run(paper_problem)
+
+    result = benchmark(one_generation)
+    assert result.generations == 1
+
+
+def test_perf_random_schedule_decode(benchmark, paper_problem):
+    out = benchmark(lambda: random_schedule(paper_problem, 3))
+    assert out.n == 100

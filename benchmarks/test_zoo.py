@@ -1,0 +1,34 @@
+"""Scheduler-zoo comparison bench (beyond the paper's GA-vs-HEFT)."""
+
+from repro.experiments.zoo import run_zoo
+
+
+def test_scheduler_zoo(benchmark, bench_config):
+    result = benchmark.pedantic(
+        lambda: run_zoo(bench_config, 4.0), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+
+    metrics = result.metrics
+    expected = {
+        "heft",
+        "cpop",
+        "peft",
+        "minmin",
+        "heft-q0.9",
+        "annealing",
+        "robust-ga",
+        "online-mct",
+    }
+    assert set(metrics) == expected
+
+    # The robust GA at eps=1.0 is seeded and capped by HEFT, so its mean
+    # expected makespan can never exceed HEFT's.
+    assert metrics["robust-ga"]["m0"] <= metrics["heft"]["m0"] * (1 + 1e-9)
+    # All miss rates are proper probabilities.
+    for vals in metrics.values():
+        assert 0.0 <= vals["miss_rate"] <= 1.0
+    # HEFT-family schedulers stay within 2x of plain HEFT on expected makespan.
+    for name in ("peft", "heft-q0.9"):
+        assert metrics[name]["m0"] <= 2.0 * metrics["heft"]["m0"]

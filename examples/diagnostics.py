@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Robustness estimation diagnostics: how trustworthy are the numbers?
+
+The paper fixes N = 1000 Monte-Carlo realizations per schedule.  This
+example shows the tooling around that choice:
+
+1. a *convergence profile* — how R1/R2/miss-rate estimates stabilise as
+   N grows;
+2. *bootstrap confidence intervals* at N = 1000;
+3. the *analytical* (Clark canonical-form) estimator against Monte-Carlo
+   ground truth — thousands of times cheaper, accurate to ~1 % on the
+   makespan mean;
+4. saving the instance + schedule to JSON so the exact experiment can be
+   re-run elsewhere.
+
+Run:  python examples/diagnostics.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import repro
+from repro.graph.generator import DagParams
+from repro.io import load_problem, load_schedule, save_problem, save_schedule
+from repro.platform.uncertainty import UncertaintyParams
+from repro.robustness.clark import analytic_robustness
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    problem = repro.SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=40, ccr=0.2),
+        uncertainty_params=UncertaintyParams(mean_ul=4.0),
+        rng=77,
+    )
+    schedule = repro.RobustScheduler(epsilon=1.2, rng=3).solve(problem).schedule
+
+    # 1. Convergence of the Monte-Carlo estimates.
+    profile = repro.convergence_profile(
+        schedule, sample_sizes=(50, 100, 250, 500, 1000, 4000), rng=5
+    )
+    rows = [
+        [n, m["mean_makespan"], m["mean_tardiness"], m["miss_rate"], m["r1"]]
+        for n, m in sorted(profile.items())
+    ]
+    print(
+        format_table(
+            ["N", "mean M", "tardiness", "miss rate", "R1"],
+            rows,
+            title="Monte-Carlo convergence (nested samples)",
+        )
+    )
+
+    # 2. Bootstrap CIs at the paper's N = 1000.
+    report = repro.assess_robustness(schedule, 1000, rng=7)
+    cis = repro.bootstrap_robustness(
+        report.realized_makespans, report.expected_makespan, rng=9
+    )
+    print("\n95% bootstrap confidence intervals at N = 1000:")
+    for name in ("mean_tardiness", "miss_rate", "r1", "r2"):
+        print(f"  {name:15s} {cis[name]}")
+
+    # 3. Analytical estimator vs Monte Carlo.
+    analytic = analytic_robustness(schedule)
+    print("\nClark canonical-form estimate vs Monte Carlo (N = 1000):")
+    print(
+        format_table(
+            ["source", "mean M", "tardiness", "miss rate"],
+            [
+                ["analytic", analytic["mean_makespan"], analytic["mean_tardiness"],
+                 analytic["miss_rate"]],
+                ["monte-carlo", report.mean_makespan, report.mean_tardiness,
+                 report.miss_rate],
+            ],
+        )
+    )
+
+    # 4. Round-trip the experiment artefacts.
+    with tempfile.TemporaryDirectory() as tmp:
+        problem_path = Path(tmp) / "problem.json"
+        schedule_path = Path(tmp) / "schedule.json"
+        save_problem(problem, problem_path)
+        save_schedule(schedule, schedule_path)
+        reloaded = load_schedule(schedule_path, load_problem(problem_path))
+        check = repro.assess_robustness(reloaded, 1000, rng=7)
+        print(
+            f"\nserialization round-trip: mean makespan "
+            f"{report.mean_makespan:.3f} -> {check.mean_makespan:.3f} "
+            f"({'identical' if check.mean_makespan == report.mean_makespan else 'MISMATCH'})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The makespan/robustness trade-off: ε sweep vs. an NSGA-II Pareto front.
+
+The paper resolves the bi-objective problem by scalarizing with the
+ε-constraint method: each ε in [1.0, 2.0] buys a different point on the
+makespan/slack frontier.  This example sweeps ε on one instance, shows how
+makespan, slack and the two robustness measures move, then runs the
+NSGA-II extension once and checks that the ε-constraint solutions land
+near its Pareto front.
+
+Run:  python examples/epsilon_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.ga.engine import GAParams
+from repro.graph.generator import DagParams
+from repro.moop import Nsga2Scheduler
+from repro.platform.uncertainty import UncertaintyParams
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    problem = repro.SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=30, ccr=0.2),
+        uncertainty_params=UncertaintyParams(mean_ul=4.0),
+        rng=99,
+    )
+    params = GAParams(max_iterations=250, stagnation_limit=80)
+
+    rows = []
+    sweep_points = []
+    for eps in (1.0, 1.2, 1.4, 1.6, 1.8, 2.0):
+        result = repro.RobustScheduler(epsilon=eps, params=params, rng=5).solve(problem)
+        report = repro.assess_robustness(result.schedule, 800, rng=3)
+        rows.append(
+            [
+                eps,
+                report.expected_makespan,
+                report.mean_makespan,
+                report.avg_slack,
+                report.r1,
+                report.r2,
+            ]
+        )
+        sweep_points.append((report.expected_makespan, report.avg_slack))
+
+    print(
+        format_table(
+            ["eps", "M0", "mean M", "avg slack", "R1", "R2"],
+            rows,
+            title=f"eps-constraint sweep on {problem.name}",
+        )
+    )
+
+    # NSGA-II: one run approximates the whole frontier.
+    front = Nsga2Scheduler(GAParams(max_iterations=150), rng=8).run(problem)
+    print(f"\nNSGA-II front ({len(front.front)} non-dominated schedules):")
+    print(
+        format_table(
+            ["makespan", "avg slack"],
+            [[ind.makespan, ind.avg_slack] for ind in front.front[:12]],
+        )
+    )
+
+    # How close do the eps-constraint picks come to the front?
+    print("\neps-constraint solutions vs. NSGA-II front at the same budget:")
+    for (m0, slack), eps in zip(sweep_points, (1.0, 1.2, 1.4, 1.6, 1.8, 2.0)):
+        best = front.best_within_budget(m0 * 1.0001)
+        if best is None:
+            continue
+        print(
+            f"  eps={eps:3.1f}: eps-GA slack {slack:8.2f}  |  "
+            f"front slack at <= same makespan {best.avg_slack:8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Robust scheduling across classic structured application graphs.
+
+The paper (and its HEFT baseline's paper) evaluate on random layered DAGs
+plus structured kernels.  This example runs HEFT and the ε-constraint GA
+on five classic graph shapes — Gaussian elimination, FFT, fork-join,
+wavefront pipeline and the Laplace diamond — with the same platform and
+uncertainty model, showing how graph structure changes the slack the GA
+can buy at a fixed makespan budget.
+
+Run:  python examples/structured_workflows.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core.problem import SchedulingProblem
+from repro.ga.engine import GAParams
+from repro.graph.workflows import (
+    fft,
+    fork_join,
+    gaussian_elimination,
+    laplace,
+    pipeline,
+)
+from repro.platform.etc import EtcParams, generate_etc
+from repro.platform.platform import Platform
+from repro.platform.uncertainty import UncertaintyModel, UncertaintyParams, generate_ul
+from repro.utils.tables import format_table
+
+WORKFLOWS = [
+    ("gauss(7)", gaussian_elimination(7, data_size=4.0)),
+    ("fft(8)", fft(8, data_size=4.0)),
+    ("forkjoin(4x6)", fork_join(4, 6, data_size=4.0)),
+    ("pipeline(6x5)", pipeline(6, 5, data_size=4.0)),
+    ("laplace(5)", laplace(5, data_size=4.0)),
+]
+
+GA = GAParams(max_iterations=250, stagnation_limit=80)
+
+
+def build_problem(graph: repro.TaskGraph, seed: int) -> SchedulingProblem:
+    m = 4
+    bcet = generate_etc(graph.n, m, EtcParams(mu_task=10.0), rng=seed)
+    ul = generate_ul(graph.n, m, UncertaintyParams(mean_ul=3.0), rng=seed + 1)
+    return SchedulingProblem(
+        graph=graph,
+        platform=Platform(m),
+        uncertainty=UncertaintyModel(bcet, ul),
+        name=graph.name,
+    )
+
+
+def main() -> None:
+    rows = []
+    for seed, (label, graph) in enumerate(WORKFLOWS):
+        problem = build_problem(graph, 100 + 10 * seed)
+        heft = repro.HeftScheduler().schedule(problem)
+        result = repro.RobustScheduler(epsilon=1.1, params=GA, rng=seed).solve(problem)
+
+        heft_rep = repro.assess_robustness(heft, 800, rng=seed)
+        ga_rep = repro.assess_robustness(result.schedule, 800, rng=seed)
+        rows.append(
+            [
+                label,
+                graph.n,
+                heft_rep.expected_makespan,
+                heft_rep.avg_slack,
+                ga_rep.avg_slack,
+                heft_rep.mean_tardiness,
+                ga_rep.mean_tardiness,
+            ]
+        )
+
+    print(
+        format_table(
+            ["workflow", "n", "M0(heft)", "slack(heft)", "slack(GA)",
+             "tard(heft)", "tard(GA)"],
+            rows,
+            title="structured workflows — HEFT vs eps=1.1 robust GA "
+            "(UL=3, 800 realizations)",
+        )
+    )
+
+    # Structure commentary: parallel-heavy shapes leave more slack to buy.
+    slack_gain = {r[0]: r[4] - r[3] for r in rows}
+    best = max(slack_gain, key=slack_gain.get)
+    worst = min(slack_gain, key=slack_gain.get)
+    print(
+        f"\nbiggest slack gain: {best} (+{slack_gain[best]:.2f}); "
+        f"smallest: {worst} (+{slack_gain[worst]:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+#!/usr/bin/env python
+"""Robust scheduling of a hand-built scientific-workflow DAG.
+
+Instead of a random graph, this example builds a Montage-style mosaicking
+pipeline (the classic fork-join workflow the task-scheduling literature
+motivates with): project N input images in parallel, fit overlaps
+pairwise, run a global background model, correct each image, then co-add.
+The platform is a 4-machine cluster with heterogeneous link speeds, and
+per-task uncertainty levels reflect that I/O-heavy stages vary more than
+CPU-bound ones.
+
+Run:  python examples/workflow_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.platform.platform import Platform
+from repro.platform.uncertainty import UncertaintyModel
+from repro.sim import simulate
+from repro.utils.tables import format_table
+
+N_IMAGES = 6
+
+
+def build_workflow() -> tuple[repro.TaskGraph, dict[int, str]]:
+    """Montage-like pipeline over N_IMAGES inputs.
+
+    Layers: project x N  ->  fit-overlap x (N-1)  ->  background-model
+    -> correct x N -> co-add.
+    """
+    labels: dict[int, str] = {}
+    edges: list[tuple[int, int]] = []
+    data: list[float] = []
+
+    project = list(range(N_IMAGES))
+    for i in project:
+        labels[i] = f"project[{i}]"
+    fit = list(range(N_IMAGES, N_IMAGES + N_IMAGES - 1))
+    for k, t in enumerate(fit):
+        labels[t] = f"fit[{k}]"
+        for src in (project[k], project[k + 1]):  # overlapping pair
+            edges.append((src, t))
+            data.append(30.0)
+    model = fit[-1] + 1
+    labels[model] = "bg-model"
+    for t in fit:
+        edges.append((t, model))
+        data.append(5.0)
+    correct = list(range(model + 1, model + 1 + N_IMAGES))
+    for k, t in enumerate(correct):
+        labels[t] = f"correct[{k}]"
+        edges.append((model, t))
+        data.append(8.0)
+        edges.append((project[k], t))  # needs the projected image too
+        data.append(30.0)
+    coadd = correct[-1] + 1
+    labels[coadd] = "co-add"
+    for t in correct:
+        edges.append((t, coadd))
+        data.append(40.0)
+
+    graph = repro.TaskGraph(coadd + 1, edges, data, name="montage-like")
+    return graph, labels
+
+
+def build_problem() -> tuple[repro.SchedulingProblem, dict[int, str]]:
+    graph, labels = build_workflow()
+    n = graph.n
+
+    # 4 machines: two fast, one medium, one slow; asymmetric link rates.
+    speed = np.array([1.0, 1.0, 1.6, 2.5])  # slowdown factor per machine
+    rates = np.array(
+        [
+            [1.0, 10.0, 5.0, 2.0],
+            [10.0, 1.0, 5.0, 2.0],
+            [5.0, 5.0, 1.0, 2.0],
+            [2.0, 2.0, 2.0, 1.0],
+        ]
+    )
+    platform = Platform(4, rates, name="small-cluster")
+
+    # Stage-dependent base costs and uncertainty: projection and co-add are
+    # I/O-heavy (high UL), fitting/correction are CPU-bound (low UL).
+    base = np.empty(n)
+    ul_level = np.empty(n)
+    for task, label in labels.items():
+        if label.startswith("project"):
+            base[task], ul_level[task] = 12.0, 3.0
+        elif label.startswith("fit"):
+            base[task], ul_level[task] = 8.0, 1.5
+        elif label == "bg-model":
+            base[task], ul_level[task] = 20.0, 2.0
+        elif label.startswith("correct"):
+            base[task], ul_level[task] = 10.0, 1.5
+        else:  # co-add
+            base[task], ul_level[task] = 25.0, 4.0
+
+    bcet = base[:, None] * speed[None, :]
+    ul = np.tile(ul_level[:, None], (1, 4))
+    problem = repro.SchedulingProblem(
+        graph=graph,
+        platform=platform,
+        uncertainty=UncertaintyModel(bcet, ul),
+        name="montage-like",
+    )
+    return problem, labels
+
+
+def main() -> None:
+    problem, labels = build_problem()
+    print(f"workflow: {problem.graph.name}, {problem.n} tasks, "
+          f"{problem.graph.num_edges} edges, {problem.m} machines\n")
+
+    rows = []
+    schedules = {}
+    for name, scheduler in [
+        ("HEFT", repro.HeftScheduler()),
+        ("CPOP", repro.CpopScheduler()),
+        ("min-min", repro.MinMinScheduler()),
+        ("robust GA (eps=1.15)", repro.RobustScheduler(epsilon=1.15, rng=4)),
+    ]:
+        schedule = scheduler.schedule(problem)
+        report = repro.assess_robustness(schedule, 1500, rng=9)
+        schedules[name] = schedule
+        rows.append(
+            [
+                name,
+                report.expected_makespan,
+                report.mean_makespan,
+                report.avg_slack,
+                report.miss_rate,
+                report.r1,
+            ]
+        )
+    print(
+        format_table(
+            ["scheduler", "M0", "mean M", "slack", "miss rate", "R1"],
+            rows,
+            title="schedulers on the workflow (1500 realizations)",
+        )
+    )
+
+    # Show where the robust GA placed each pipeline stage.
+    robust = schedules["robust GA (eps=1.15)"]
+    trace = simulate(robust)
+    print("\nrobust schedule placement:")
+    for entry in trace.gantt(robust):
+        print(
+            f"  P{entry.processor}  {labels[entry.task]:12s} "
+            f"[{entry.start:7.2f}, {entry.finish:7.2f})"
+        )
+
+
+if __name__ == "__main__":
+    main()

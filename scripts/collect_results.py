@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Collect medium-scale results for every figure into results/*.txt.
+
+Used to populate EXPERIMENTS.md.  Paper scale is a flag away but takes
+hours; medium scale preserves the qualitative shapes.
+
+Run:  python scripts/collect_results.py [--scale medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.best_eps import run_best_eps
+from repro.experiments.config import PAPER_ULS, SCALES, ExperimentConfig
+from repro.experiments.eps_one import run_eps_one
+from repro.experiments.eps_sweep import PAPER_EPSILONS, run_eps_sweep
+from repro.experiments.runner import run_eps_grid
+from repro.experiments.slack_effect import run_slack_effect
+
+RESULTS = pathlib.Path(__file__).resolve().parents[1] / "results"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", default="medium", choices=sorted(SCALES))
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    args = parser.parse_args()
+
+    RESULTS.mkdir(exist_ok=True)
+    config = ExperimentConfig(scale=SCALES[args.scale])
+    t0 = time.perf_counter()
+
+    def log(msg: str) -> None:
+        print(f"[{time.perf_counter() - t0:8.1f}s] {msg}", flush=True)
+
+    def save(name: str, text: str) -> None:
+        (RESULTS / f"{name}.txt").write_text(text + "\n")
+        log(f"wrote results/{name}.txt")
+        print(text, flush=True)
+
+    log(f"scale={args.scale}")
+
+    fig2 = run_slack_effect(config, "makespan", PAPER_ULS, n_jobs=args.jobs, progress=log)
+    save("fig2", fig2.to_table())
+
+    fig3 = run_slack_effect(config, "slack", PAPER_ULS, n_jobs=args.jobs, progress=log)
+    save("fig3", fig3.to_table())
+
+    log("building the shared (UL, eps) grid for figs 4-8 ...")
+    grid = run_eps_grid(config, PAPER_ULS, PAPER_EPSILONS, n_jobs=args.jobs, progress=log)
+
+    fig4 = run_eps_one(config, PAPER_ULS, grid=grid)
+    save("fig4", fig4.to_table())
+
+    sweep = run_eps_sweep(config, PAPER_ULS, PAPER_EPSILONS, grid=grid)
+    save("fig5", sweep.to_table("r1"))
+    save("fig6", sweep.to_table("r2"))
+
+    best = run_best_eps(config, PAPER_ULS, PAPER_EPSILONS, grid=grid)
+    save("fig7", best.to_table("r1"))
+    save("fig8", best.to_table("r2"))
+
+    log("done")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,383 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro fig4 --scale smoke
+    python -m repro fig2 --scale medium --uls 2 8
+    python -m repro fig5 --scale paper
+    python -m repro solve --seed 42 --epsilon 1.3   # one-off solve demo
+
+or via the installed entry point ``repro-sched``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.experiments.config import PAPER_ULS, SCALES, ExperimentConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sched",
+        description=(
+            "Reproduce 'Robust task scheduling in non-deterministic "
+            "heterogeneous computing systems' (CLUSTER 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scale",
+            choices=sorted(SCALES),
+            default="medium",
+            help="experiment scale preset (default: medium)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=None, help="root seed (default: config default)"
+        )
+        p.add_argument(
+            "--uls",
+            type=float,
+            nargs="+",
+            default=list(PAPER_ULS),
+            help="uncertainty levels to sweep (default: 2 4 6 8)",
+        )
+        p.add_argument(
+            "--quiet", action="store_true", help="suppress progress output"
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the (UL, eps, instance) grid "
+            "(figs 4-8; results are identical for any value)",
+        )
+
+    for fig, help_text in [
+        ("fig2", "GA evolution, minimizing makespan (Sec. 5.1)"),
+        ("fig3", "GA evolution, maximizing slack (Sec. 5.1)"),
+        ("fig4", "improvement over HEFT at eps = 1.0 (Sec. 5.2)"),
+        ("fig5", "R1 improvement vs eps (Sec. 5.2)"),
+        ("fig6", "R2 improvement vs eps (Sec. 5.2)"),
+        ("fig7", "best eps for overall performance, R1 (Sec. 5.2)"),
+        ("fig8", "best eps for overall performance, R2 (Sec. 5.2)"),
+    ]:
+        p = sub.add_parser(fig, help=help_text)
+        common(p)
+
+    def instance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=42, help="instance seed")
+        p.add_argument("--tasks", type=int, default=50, help="number of tasks")
+        p.add_argument("--procs", type=int, default=4, help="number of processors")
+        p.add_argument(
+            "--ul", type=float, default=2.0, help="mean uncertainty level"
+        )
+
+    solve = sub.add_parser("solve", help="solve one random instance end-to-end")
+    instance_args(solve)
+    solve.add_argument("--epsilon", type=float, default=1.0, help="eps budget")
+    solve.add_argument(
+        "--realizations", type=int, default=500, help="Monte-Carlo realizations"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="run every scheduler on one instance and compare"
+    )
+    instance_args(compare)
+    compare.add_argument(
+        "--realizations", type=int, default=500, help="Monte-Carlo realizations"
+    )
+
+    gantt = sub.add_parser("gantt", help="render a schedule as an ASCII Gantt chart")
+    instance_args(gantt)
+    gantt.add_argument(
+        "--scheduler",
+        choices=("heft", "cpop", "peft", "minmin", "robust"),
+        default="robust",
+        help="which scheduler's result to draw",
+    )
+    gantt.add_argument("--epsilon", type=float, default=1.2, help="robust GA budget")
+    gantt.add_argument("--width", type=int, default=78, help="chart width")
+
+    pareto = sub.add_parser(
+        "pareto", help="approximate the makespan/slack Pareto front with NSGA-II"
+    )
+    instance_args(pareto)
+    pareto.add_argument(
+        "--iterations", type=int, default=150, help="NSGA-II generations"
+    )
+
+    export = sub.add_parser(
+        "export", help="generate an instance and write it (and its HEFT schedule)"
+    )
+    instance_args(export)
+    export.add_argument(
+        "--out", default="instance.json", help="output problem JSON path"
+    )
+    export.add_argument(
+        "--dot", default=None, help="also write the task graph as DOT here"
+    )
+
+    zoo = sub.add_parser(
+        "zoo", help="compare the whole scheduler zoo over the instance pool"
+    )
+    common(zoo)
+    zoo.add_argument(
+        "--zoo-ul", type=float, default=4.0, help="uncertainty level for the zoo"
+    )
+    zoo.add_argument(
+        "--no-dynamic",
+        action="store_true",
+        help="skip the (slow) online-MCT dynamic baseline",
+    )
+
+    sens = sub.add_parser(
+        "sensitivity",
+        help="sweep a generator parameter and report the eps=1.0 gain",
+    )
+    common(sens)
+    sens.add_argument(
+        "--parameter", choices=("ccr", "alpha", "m"), default="ccr"
+    )
+    sens.add_argument(
+        "--values", type=float, nargs="+", default=[0.1, 0.5, 1.0]
+    )
+    sens.add_argument(
+        "--sens-ul", type=float, default=4.0, help="fixed uncertainty level"
+    )
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    kwargs = {"scale": SCALES[args.scale]}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return ExperimentConfig(**kwargs)
+
+
+def _progress(args: argparse.Namespace):
+    if args.quiet:
+        return None
+
+    start = time.perf_counter()
+
+    def report(msg: str) -> None:
+        print(f"[{time.perf_counter() - start:7.1f}s] {msg}", file=sys.stderr)
+
+    return report
+
+
+def _instance(args: argparse.Namespace):
+    from repro.core.problem import SchedulingProblem
+    from repro.graph.generator import DagParams
+    from repro.platform.uncertainty import UncertaintyParams
+
+    return SchedulingProblem.random(
+        m=args.procs,
+        dag_params=DagParams(n=args.tasks),
+        uncertainty_params=UncertaintyParams(mean_ul=args.ul),
+        rng=args.seed,
+    )
+
+
+def _run_solve(args: argparse.Namespace) -> str:
+    from repro.core.robust import RobustScheduler
+    from repro.robustness.montecarlo import assess_robustness
+    from repro.utils.tables import format_table
+
+    problem = _instance(args)
+    result = RobustScheduler(epsilon=args.epsilon, rng=args.seed + 1).solve(problem)
+    ga_report = assess_robustness(result.schedule, args.realizations, args.seed + 2)
+    heft_report = assess_robustness(
+        result.heft_schedule, args.realizations, args.seed + 3
+    )
+    rows = [
+        ["HEFT", heft_report.expected_makespan, heft_report.mean_makespan,
+         heft_report.avg_slack, heft_report.r1, heft_report.r2],
+        ["robust GA", ga_report.expected_makespan, ga_report.mean_makespan,
+         ga_report.avg_slack, ga_report.r1, ga_report.r2],
+    ]
+    return format_table(
+        ["scheduler", "M0", "mean M", "avg slack", "R1", "R2"],
+        rows,
+        title=f"{problem.name}  (eps={args.epsilon}, N={args.realizations})",
+    )
+
+
+def _run_compare(args: argparse.Namespace) -> str:
+    from repro.core.robust import RobustScheduler
+    from repro.heuristics import (
+        CpopScheduler,
+        HeftScheduler,
+        MinMinScheduler,
+        PeftScheduler,
+    )
+    from repro.robustness.montecarlo import assess_robustness
+    from repro.utils.tables import format_table
+
+    problem = _instance(args)
+    schedulers = [
+        ("HEFT", HeftScheduler()),
+        ("CPOP", CpopScheduler()),
+        ("PEFT", PeftScheduler()),
+        ("min-min", MinMinScheduler()),
+        ("robust GA", RobustScheduler(epsilon=1.0, rng=args.seed + 1)),
+    ]
+    rows = []
+    for name, scheduler in schedulers:
+        schedule = scheduler.schedule(problem)
+        report = assess_robustness(schedule, args.realizations, args.seed + 2)
+        rows.append(
+            [name, report.expected_makespan, report.mean_makespan,
+             report.avg_slack, report.miss_rate, report.r1, report.r2]
+        )
+    return format_table(
+        ["scheduler", "M0", "mean M", "slack", "miss", "R1", "R2"],
+        rows,
+        title=f"{problem.name}  (N={args.realizations})",
+    )
+
+
+def _run_gantt(args: argparse.Namespace) -> str:
+    from repro.core.robust import RobustScheduler
+    from repro.heuristics import (
+        CpopScheduler,
+        HeftScheduler,
+        MinMinScheduler,
+        PeftScheduler,
+    )
+    from repro.schedule.gantt import render_gantt
+
+    problem = _instance(args)
+    schedulers = {
+        "heft": HeftScheduler(),
+        "cpop": CpopScheduler(),
+        "peft": PeftScheduler(),
+        "minmin": MinMinScheduler(),
+        "robust": RobustScheduler(epsilon=args.epsilon, rng=args.seed + 1),
+    }
+    schedule = schedulers[args.scheduler].schedule(problem)
+    header = f"{problem.name} — {args.scheduler}"
+    return header + "\n" + render_gantt(schedule, width=args.width)
+
+
+def _run_pareto(args: argparse.Namespace) -> str:
+    from repro.ga.engine import GAParams
+    from repro.moop.nsga2 import Nsga2Scheduler
+    from repro.utils.tables import format_table
+
+    problem = _instance(args)
+    result = Nsga2Scheduler(
+        GAParams(max_iterations=args.iterations), rng=args.seed + 1
+    ).run(problem)
+    rows = [[ind.makespan, ind.avg_slack] for ind in result.front]
+    return format_table(
+        ["makespan", "avg slack"],
+        rows,
+        title=f"{problem.name} — NSGA-II front ({len(rows)} schedules, "
+        f"{result.generations} generations)",
+    )
+
+
+def _run_export(args: argparse.Namespace) -> str:
+    import pathlib
+
+    from repro.heuristics.heft import HeftScheduler
+    from repro.io import graph_to_dot, save_problem, save_schedule
+
+    problem = _instance(args)
+    out = pathlib.Path(args.out)
+    save_problem(problem, out)
+    schedule_path = out.with_name(out.stem + ".heft-schedule.json")
+    save_schedule(HeftScheduler().schedule(problem), schedule_path)
+    messages = [f"wrote {out}", f"wrote {schedule_path}"]
+    if args.dot:
+        pathlib.Path(args.dot).write_text(graph_to_dot(problem.graph))
+        messages.append(f"wrote {args.dot}")
+    return "\n".join(messages)
+
+
+def run(argv: Sequence[str] | None = None) -> str:
+    """Execute the CLI and return the rendered output (testing hook)."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "solve":
+        return _run_solve(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    if args.command == "gantt":
+        return _run_gantt(args)
+    if args.command == "pareto":
+        return _run_pareto(args)
+    if args.command == "export":
+        return _run_export(args)
+    if args.command == "zoo":
+        from repro.experiments.zoo import run_zoo
+
+        return run_zoo(
+            _config(args),
+            args.zoo_ul,
+            include_dynamic=not args.no_dynamic,
+            progress=_progress(args),
+        ).to_table()
+    if args.command == "sensitivity":
+        from repro.experiments.sensitivity import run_sensitivity
+
+        return run_sensitivity(
+            _config(args),
+            args.parameter,
+            tuple(args.values),
+            mean_ul=args.sens_ul,
+            progress=_progress(args),
+        ).to_table()
+
+    config = _config(args)
+    uls = tuple(args.uls)
+    progress = _progress(args)
+
+    if args.command in ("fig2", "fig3"):
+        from repro.experiments.slack_effect import run_slack_effect
+
+        objective = "makespan" if args.command == "fig2" else "slack"
+        return run_slack_effect(
+            config, objective, uls, n_jobs=args.jobs, progress=progress
+        ).to_table()
+    if args.command == "fig4":
+        from repro.experiments.eps_one import run_eps_one
+
+        return run_eps_one(
+            config, uls, n_jobs=args.jobs, progress=progress
+        ).to_table()
+    if args.command in ("fig5", "fig6"):
+        from repro.experiments.eps_sweep import run_eps_sweep
+
+        which = "r1" if args.command == "fig5" else "r2"
+        return run_eps_sweep(
+            config, uls, n_jobs=args.jobs, progress=progress
+        ).to_table(which)
+    if args.command in ("fig7", "fig8"):
+        from repro.experiments.best_eps import run_best_eps
+
+        which = "r1" if args.command == "fig7" else "r2"
+        return run_best_eps(
+            config, uls, n_jobs=args.jobs, progress=progress
+        ).to_table(which)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    print(run(argv))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Core layer: the scheduling problem instance and the paper's headline API.
+
+* :class:`~repro.core.problem.SchedulingProblem` — a task graph + platform +
+  uncertainty model bundle, the input of every scheduler in the library.
+* :class:`~repro.core.robust.RobustScheduler` — the paper's contribution:
+  the ε-constraint bi-objective GA that maximizes average slack subject to
+  ``M_0(s) <= eps * M_HEFT`` (Eqn. 7), plus helpers to evaluate robustness
+  and overall performance of the result.
+"""
+
+from repro.core.problem import SchedulingProblem
+from repro.core.robust import RobustResult, RobustScheduler
+
+__all__ = ["SchedulingProblem", "RobustScheduler", "RobustResult"]

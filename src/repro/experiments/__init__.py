@@ -1,0 +1,50 @@
+"""Experiment drivers reproducing every figure of the paper (Sec. 5).
+
+Each driver returns a structured result object with a ``to_table()``
+renderer; the benchmark harness calls these and asserts the qualitative
+shapes the paper reports.
+
+==================  ==========================================
+Figure              Driver
+==================  ==========================================
+Fig. 2              :func:`~repro.experiments.slack_effect.run_slack_effect`
+                    (``objective="makespan"``)
+Fig. 3              :func:`~repro.experiments.slack_effect.run_slack_effect`
+                    (``objective="slack"``)
+Fig. 4              :func:`~repro.experiments.eps_one.run_eps_one`
+Figs. 5/6           :func:`~repro.experiments.eps_sweep.run_eps_sweep`
+Figs. 7/8           :func:`~repro.experiments.best_eps.run_best_eps`
+==================  ==========================================
+"""
+
+from repro.experiments.best_eps import BestEpsResult, run_best_eps
+from repro.experiments.config import SCALES, ExperimentConfig, Scale
+from repro.experiments.eps_one import EpsOneResult, run_eps_one
+from repro.experiments.eps_sweep import EpsSweepResult, run_eps_sweep
+from repro.experiments.runner import EpsGridResults, run_eps_grid
+from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.slack_effect import SlackEffectResult, run_slack_effect
+from repro.experiments.workloads import make_problem, make_problems
+from repro.experiments.zoo import ZooResult, run_zoo
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "ExperimentConfig",
+    "make_problems",
+    "run_eps_grid",
+    "EpsGridResults",
+    "run_slack_effect",
+    "SlackEffectResult",
+    "run_eps_one",
+    "EpsOneResult",
+    "run_eps_sweep",
+    "EpsSweepResult",
+    "run_best_eps",
+    "BestEpsResult",
+    "run_sensitivity",
+    "SensitivityResult",
+    "make_problem",
+    "run_zoo",
+    "ZooResult",
+]

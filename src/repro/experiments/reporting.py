@@ -1,0 +1,141 @@
+"""Result export: CSV writers for every experiment result type.
+
+The ASCII tables are for humans; these writers produce machine-readable
+CSV for plotting pipelines (one row per data point, long format).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.experiments.best_eps import BestEpsResult
+    from repro.experiments.eps_one import EpsOneResult
+    from repro.experiments.eps_sweep import EpsSweepResult
+    from repro.experiments.runner import EpsGridResults
+    from repro.experiments.sensitivity import SensitivityResult
+    from repro.experiments.slack_effect import SlackEffectResult
+
+__all__ = [
+    "slack_effect_csv",
+    "eps_one_csv",
+    "eps_sweep_csv",
+    "best_eps_csv",
+    "grid_csv",
+    "sensitivity_csv",
+    "write_csv",
+]
+
+
+def _render(header: list[str], rows: list[list]) -> str:
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def slack_effect_csv(result: "SlackEffectResult") -> str:
+    """Long-format CSV of a Figs. 2/3 result: objective, ul, step, metric, value."""
+    rows = []
+    for series in result.series:
+        for k, step in enumerate(series.steps):
+            for metric, arr in (
+                ("makespan", series.makespan),
+                ("slack", series.slack),
+                ("r1", series.r1),
+            ):
+                rows.append(
+                    [result.objective, series.mean_ul, int(step), metric, float(arr[k])]
+                )
+    return _render(["objective", "ul", "step", "metric", "log_ratio"], rows)
+
+
+def eps_one_csv(result: "EpsOneResult") -> str:
+    """CSV of the Fig. 4 result: ul, metric, mean log improvement."""
+    rows = []
+    for i, ul in enumerate(result.uls):
+        rows.append([ul, "makespan", float(result.makespan[i])])
+        rows.append([ul, "r1", float(result.r1[i])])
+        rows.append([ul, "r2", float(result.r2[i])])
+    return _render(["ul", "metric", "log_improvement"], rows)
+
+
+def eps_sweep_csv(result: "EpsSweepResult") -> str:
+    """CSV of the Figs. 5/6 result: ul, eps, metric, improvement over eps=1."""
+    rows = []
+    for ul in result.uls:
+        for j, eps in enumerate(result.epsilons):
+            rows.append([ul, eps, "r1", float(result.r1_improvement[ul][j])])
+            rows.append([ul, eps, "r2", float(result.r2_improvement[ul][j])])
+    return _render(["ul", "eps", "metric", "log_improvement"], rows)
+
+
+def best_eps_csv(result: "BestEpsResult") -> str:
+    """CSV of the Figs. 7/8 result: ul, r, robustness definition, best eps."""
+    rows = []
+    for ul in result.uls:
+        for k, r in enumerate(result.r_grid):
+            rows.append([ul, r, "r1", float(result.best_eps_r1[ul][k])])
+            rows.append([ul, r, "r2", float(result.best_eps_r2[ul][k])])
+    return _render(["ul", "r", "robustness", "best_eps"], rows)
+
+
+def grid_csv(grid: "EpsGridResults") -> str:
+    """Raw per-cell CSV: every (ul, eps, instance) outcome's key metrics."""
+    rows = []
+    for (ul, eps), outcomes in sorted(grid.cells.items()):
+        for o in outcomes:
+            rows.append(
+                [
+                    ul,
+                    eps,
+                    o.instance,
+                    o.ga.expected_makespan,
+                    o.ga.mean_makespan,
+                    o.ga.avg_slack,
+                    o.ga.mean_tardiness,
+                    o.ga.miss_rate,
+                    o.heft.expected_makespan,
+                    o.heft.mean_makespan,
+                    o.heft.avg_slack,
+                    o.heft.mean_tardiness,
+                    o.heft.miss_rate,
+                ]
+            )
+    return _render(
+        [
+            "ul",
+            "eps",
+            "instance",
+            "ga_m0",
+            "ga_mean_makespan",
+            "ga_slack",
+            "ga_tardiness",
+            "ga_miss_rate",
+            "heft_m0",
+            "heft_mean_makespan",
+            "heft_slack",
+            "heft_tardiness",
+            "heft_miss_rate",
+        ],
+        rows,
+    )
+
+
+def sensitivity_csv(result: "SensitivityResult") -> str:
+    """CSV of a sensitivity sweep: parameter value, metric, gain."""
+    rows = []
+    for i, value in enumerate(result.values):
+        rows.append([result.parameter, value, "makespan", float(result.makespan_gain[i])])
+        rows.append([result.parameter, value, "r1", float(result.r1_gain[i])])
+        rows.append([result.parameter, value, "r2", float(result.r2_gain[i])])
+    return _render(["parameter", "value", "metric", "log_gain"], rows)
+
+
+def write_csv(text: str, path: str | pathlib.Path) -> None:
+    """Write CSV *text* (from any writer above) to *path*."""
+    pathlib.Path(path).write_text(text)

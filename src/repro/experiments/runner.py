@@ -1,0 +1,191 @@
+"""Shared runner: HEFT baselines + ε-constraint GA solves over a grid.
+
+Figures 4–8 all consume the same raw data — per (uncertainty level,
+ε value, instance): a Monte-Carlo robustness report of the GA schedule and
+of the instance's HEFT schedule.  :func:`run_eps_grid` collects it once;
+the per-figure drivers reduce it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.robust import RobustScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import make_problems
+from repro.heuristics.heft import HeftScheduler
+from repro.robustness.montecarlo import RobustnessReport, assess_robustness
+
+__all__ = ["InstanceOutcome", "EpsGridResults", "run_eps_grid", "capped"]
+
+
+def capped(value: float, cap: float) -> float:
+    """Replace an infinite robustness value by a large finite cap."""
+    return min(value, cap) if math.isfinite(cap) else value
+
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """One (instance, ε) cell: the GA schedule's report plus the baseline's."""
+
+    instance: int
+    epsilon: float
+    mean_ul: float
+    ga: RobustnessReport
+    heft: RobustnessReport
+
+
+@dataclass(frozen=True)
+class EpsGridResults:
+    """All raw outcomes of one grid run, indexed ``cells[(mean_ul, epsilon)]``."""
+
+    config: ExperimentConfig
+    uls: tuple[float, ...]
+    epsilons: tuple[float, ...]
+    cells: dict[tuple[float, float], list[InstanceOutcome]]
+
+    def outcomes(self, mean_ul: float, epsilon: float) -> list[InstanceOutcome]:
+        """The per-instance outcomes of one grid cell."""
+        return self.cells[(mean_ul, epsilon)]
+
+    def mean_log_ratio(
+        self,
+        mean_ul: float,
+        epsilon: float,
+        metric,
+        reference,
+    ) -> float:
+        """Average of ``log(metric(outcome) / reference(outcome))`` over instances.
+
+        *metric* / *reference* are callables on :class:`InstanceOutcome`.
+        """
+        cap = self.config.r1_cap
+        values = [
+            math.log(
+                capped(metric(o), cap) / capped(reference(o), cap)
+            )
+            for o in self.outcomes(mean_ul, epsilon)
+        ]
+        return float(np.mean(values))
+
+
+def _instance_outcomes(
+    config: ExperimentConfig,
+    ul: float,
+    index: int,
+    epsilons: tuple[float, ...],
+) -> list[InstanceOutcome]:
+    """All ε-cells for one (UL, instance) pair.
+
+    Per instance, HEFT is scheduled once and its Monte-Carlo report reused
+    across all ε cells, with all random streams derived deterministically
+    from the config seed — results are identical whether instances run
+    serially or in worker processes.
+    """
+    from repro.experiments.workloads import make_problem
+
+    problem = make_problem(config, ul, index)
+    n_real = config.scale.n_realizations
+    mc_key = int(round(ul * 1000))
+
+    heft_schedule = HeftScheduler().schedule(problem)
+    heft_rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=config.seed, spawn_key=(3, index, mc_key))
+    )
+    heft_report = assess_robustness(heft_schedule, n_real, heft_rng)
+
+    outcomes: list[InstanceOutcome] = []
+    for j, eps in enumerate(epsilons):
+        ga_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=config.seed, spawn_key=(4, index, mc_key, j)
+            )
+        )
+        result = RobustScheduler(
+            epsilon=eps, params=config.ga_params(), rng=ga_rng
+        ).solve(problem)
+        mc_rng = np.random.default_rng(
+            np.random.SeedSequence(
+                entropy=config.seed, spawn_key=(5, index, mc_key, j)
+            )
+        )
+        report = assess_robustness(result.schedule, n_real, mc_rng)
+        outcomes.append(
+            InstanceOutcome(
+                instance=index,
+                epsilon=eps,
+                mean_ul=ul,
+                ga=report,
+                heft=heft_report,
+            )
+        )
+    return outcomes
+
+
+def _grid_worker(payload) -> tuple[float, int, list[InstanceOutcome]]:
+    """Module-level worker (picklable) for process-pool execution."""
+    config, ul, index, epsilons = payload
+    return ul, index, _instance_outcomes(config, ul, index, epsilons)
+
+
+def run_eps_grid(
+    config: ExperimentConfig,
+    uls: tuple[float, ...],
+    epsilons: tuple[float, ...],
+    *,
+    n_jobs: int = 1,
+    progress=None,
+) -> EpsGridResults:
+    """Run the ε-constraint GA over every (UL, ε, instance) combination.
+
+    Parameters
+    ----------
+    config:
+        Scale, instance-generation and seeding configuration.
+    uls:
+        Mean uncertainty levels (paper: 2, 4, 6, 8).
+    epsilons:
+        ε values (paper: {1.0} for Fig. 4, 1.0–2.0 for Figs. 5–8).
+    n_jobs:
+        Number of worker processes; 1 (default) runs in-process.  Every
+        random stream derives from the config seed, so results are
+        bit-identical for any ``n_jobs``.
+    progress:
+        Optional callable ``progress(msg: str)`` for long runs.
+    """
+    uls = tuple(float(u) for u in uls)
+    epsilons = tuple(float(e) for e in epsilons)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    cells: dict[tuple[float, float], list[InstanceOutcome]] = {
+        (u, e): [] for u in uls for e in epsilons
+    }
+    n_graphs = config.scale.n_graphs
+    work = [(config, ul, i, epsilons) for ul in uls for i in range(n_graphs)]
+
+    if n_jobs == 1:
+        results = map(_grid_worker, work)
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=n_jobs)
+        results = pool.map(_grid_worker, work)
+
+    done = 0
+    for ul, index, outcomes in results:
+        for o in outcomes:
+            cells[(ul, o.epsilon)].append(o)
+        done += 1
+        if progress is not None:
+            progress(f"UL={ul:g}: instance {index + 1}/{n_graphs} done "
+                     f"({done}/{len(work)} cells)")
+    if n_jobs > 1:
+        pool.shutdown()
+
+    # Workers may complete out of order; restore instance order per cell.
+    for outcomes in cells.values():
+        outcomes.sort(key=lambda o: o.instance)
+    return EpsGridResults(config=config, uls=uls, epsilons=epsilons, cells=cells)

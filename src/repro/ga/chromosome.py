@@ -1,0 +1,118 @@
+"""GA chromosome: scheduling string + processor assignment (Sec. 4.2.1).
+
+The paper encodes a solution as a *scheduling string* (a topological sort
+of the task graph — the global execution order) plus one *assignment
+string* per processor (the tasks on that processor, in execution order).
+Because every operator keeps each processor's internal order consistent
+with the scheduling string, the assignment strings are fully determined by
+the scheduling string and a per-task processor map.  We therefore store
+exactly ``(order, proc_of)`` — the paper itself converts assignment
+strings to this "processor string" form inside its crossover operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.topology import is_topological_order, random_topological_order
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import as_generator
+
+__all__ = ["Chromosome", "random_chromosome", "heft_chromosome"]
+
+
+@dataclass(frozen=True)
+class Chromosome:
+    """One GA individual.
+
+    Attributes
+    ----------
+    order:
+        The scheduling string: a permutation of ``0..n-1`` that is a
+        topological sort of the task graph.
+    proc_of:
+        Processor index of every task (indexed by task id).
+    """
+
+    order: np.ndarray
+    proc_of: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "order", np.ascontiguousarray(self.order, dtype=np.int64)
+        )
+        object.__setattr__(
+            self, "proc_of", np.ascontiguousarray(self.proc_of, dtype=np.int64)
+        )
+        self.order.setflags(write=False)
+        self.proc_of.setflags(write=False)
+        if self.order.ndim != 1 or self.proc_of.shape != self.order.shape:
+            raise ValueError(
+                "order and proc_of must be 1-D arrays of equal length, got "
+                f"{self.order.shape} and {self.proc_of.shape}"
+            )
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return int(self.order.shape[0])
+
+    def key(self) -> bytes:
+        """Hashable identity used for the uniqueness check (Sec. 4.2.2)."""
+        return self.order.tobytes() + self.proc_of.tobytes()
+
+    def validate(self, problem: SchedulingProblem) -> None:
+        """Raise if this chromosome is not a legal solution for *problem*."""
+        if self.n != problem.n:
+            raise ValueError(
+                f"chromosome covers {self.n} tasks, problem has {problem.n}"
+            )
+        if not is_topological_order(problem.graph, self.order):
+            raise ValueError("scheduling string is not a topological order")
+        if np.any((self.proc_of < 0) | (self.proc_of >= problem.m)):
+            raise ValueError("processor assignment out of range")
+
+    def decode(self, problem: SchedulingProblem) -> Schedule:
+        """Materialise the schedule this chromosome encodes.
+
+        Each processor's assignment string is the scheduling string filtered
+        to the tasks mapped to it.
+        """
+        return Schedule.from_assignment(problem, self.order, self.proc_of)
+
+    def assignment_strings(self, m: int) -> list[np.ndarray]:
+        """The paper's explicit per-processor assignment strings."""
+        assigned = self.proc_of[self.order]
+        return [self.order[assigned == p] for p in range(m)]
+
+
+def random_chromosome(
+    problem: SchedulingProblem, rng: np.random.Generator | int | None = None
+) -> Chromosome:
+    """Random individual: random topological sort + uniform processor draws.
+
+    This is the paper's initial-population construction (Sec. 4.2.2): tasks
+    are taken from the freshly generated scheduling string in order and
+    appended to a uniformly chosen processor's assignment string.
+    """
+    gen = as_generator(rng)
+    order = random_topological_order(problem.graph, gen)
+    proc_of = gen.integers(problem.m, size=problem.n)
+    return Chromosome(order=order, proc_of=proc_of)
+
+
+def heft_chromosome(problem: SchedulingProblem, schedule: Schedule | None = None) -> Chromosome:
+    """Encode the HEFT schedule as a chromosome (the GA seed, Sec. 4.2.2).
+
+    The scheduling string is a topological order of the schedule's
+    disjunctive graph, so decoding reproduces the HEFT processor orders
+    exactly.
+    """
+    if schedule is None:
+        from repro.heuristics.heft import HeftScheduler
+
+        schedule = HeftScheduler().schedule(problem)
+    return Chromosome(order=schedule.linear_order(), proc_of=schedule.proc_of)

@@ -1,0 +1,77 @@
+"""Topological-window mutation (paper Sec. 4.2.6).
+
+The operator picks a task ``v`` uniformly, computes the legal window of
+positions it may occupy in the scheduling string — strictly after the last
+of its immediate predecessors and strictly before the first of its
+immediate successors — moves it to a uniformly drawn position inside that
+window, and finally assigns ``v`` a uniformly drawn (possibly new)
+processor.  The result is always a valid topological order, because only
+*immediate* neighbours can bound ``v``'s legal positions: any transitive
+predecessor precedes some immediate predecessor, hence the window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.ga.chromosome import Chromosome
+from repro.utils.rng import as_generator
+
+__all__ = ["legal_window", "mutate"]
+
+
+def legal_window(
+    problem: SchedulingProblem, order: np.ndarray, task: int
+) -> tuple[int, int]:
+    """Legal insertion window ``[lo, hi]`` for *task* in the string *order*.
+
+    Positions refer to the string *with the task removed*: inserting the
+    task at any index in ``[lo, hi]`` of that reduced string yields a valid
+    topological order.  ``lo`` is (last predecessor position in the reduced
+    string) + 1; ``hi`` is the first successor position (insertion at index
+    ``hi`` lands just before the successor).
+    """
+    graph = problem.graph
+    n = graph.n
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n)
+    pos_v = int(position[task])
+
+    def reduced(p: int) -> int:
+        """Position in the string with *task* removed."""
+        return p - 1 if p > pos_v else p
+
+    lo = 0
+    for u in graph.predecessors(task):
+        lo = max(lo, reduced(int(position[u])) + 1)
+    hi = n - 1  # reduced string has n-1 entries; valid insertion index range is [0, n-1]
+    for w in graph.successors(task):
+        hi = min(hi, reduced(int(position[w])))
+    assert lo <= hi, "topological input guarantees a non-empty window"
+    return lo, hi
+
+
+def mutate(
+    problem: SchedulingProblem,
+    chromosome: Chromosome,
+    rng: np.random.Generator | int | None = None,
+) -> Chromosome:
+    """Apply one mutation, returning a new chromosome.
+
+    The input chromosome's scheduling string must be a valid topological
+    order (operators preserve this invariant end-to-end).
+    """
+    gen = as_generator(rng)
+    n = chromosome.n
+    task = int(gen.integers(n))
+
+    lo, hi = legal_window(problem, chromosome.order, task)
+    insert_at = int(gen.integers(lo, hi + 1))
+
+    reduced = chromosome.order[chromosome.order != task]
+    new_order = np.insert(reduced, insert_at, task)
+
+    new_proc = chromosome.proc_of.copy()
+    new_proc[task] = int(gen.integers(problem.m))
+    return Chromosome(order=new_order, proc_of=new_proc)

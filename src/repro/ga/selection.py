@@ -1,0 +1,57 @@
+"""Binary tournament selection (paper Sec. 4.2.4).
+
+The systematic variant: the population is randomly permuted and adjacent
+pairs fight; a second independent permutation yields the other half of the
+intermediate population.  Every individual thus participates in exactly
+two tournaments — the best individual wins both (two copies), the worst
+loses both (eliminated) — and the intermediate population keeps the
+original size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+__all__ = ["binary_tournament"]
+
+
+def binary_tournament(
+    fitness: np.ndarray, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Select ``len(fitness)`` population indices by systematic binary tournament.
+
+    Parameters
+    ----------
+    fitness:
+        Fitness of every individual; larger is fitter.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Indices (with repetition) of the selected individuals.  For odd
+        population sizes the leftover individual of each permutation
+        advances unopposed, preserving the population size.
+    """
+    fitness = np.asarray(fitness, dtype=np.float64)
+    n = fitness.shape[0]
+    if n == 0:
+        raise ValueError("cannot select from an empty population")
+    gen = as_generator(rng)
+
+    winners: list[int] = []
+    for _ in range(2):
+        perm = gen.permutation(n)
+        half = n // 2
+        a = perm[0 : 2 * half : 2]
+        b = perm[1 : 2 * half : 2]
+        take_a = fitness[a] >= fitness[b]
+        winners.extend(np.where(take_a, a, b).tolist())
+        if n % 2 == 1:
+            winners.append(int(perm[-1]))
+        if len(winners) >= n:
+            break
+    return np.asarray(winners[:n], dtype=np.int64)

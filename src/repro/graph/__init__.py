@@ -1,0 +1,35 @@
+"""Task-graph layer: DAG data structure, random generation, analysis.
+
+This layer is platform-agnostic: a :class:`~repro.graph.taskgraph.TaskGraph`
+only knows tasks, precedence edges, and per-edge data sizes.  Execution
+times live in :mod:`repro.platform`.
+"""
+
+from repro.graph.analysis import (
+    critical_path,
+    critical_path_length,
+    dag_levels,
+)
+from repro.graph.generator import DagParams, random_dag
+from repro.graph.taskgraph import TaskGraph
+from repro.graph.topology import (
+    ancestors_mask,
+    descendants_mask,
+    is_topological_order,
+    random_topological_order,
+    topological_order,
+)
+
+__all__ = [
+    "TaskGraph",
+    "DagParams",
+    "random_dag",
+    "topological_order",
+    "random_topological_order",
+    "is_topological_order",
+    "ancestors_mask",
+    "descendants_mask",
+    "critical_path",
+    "critical_path_length",
+    "dag_levels",
+]

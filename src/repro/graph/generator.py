@@ -1,0 +1,169 @@
+"""Layered random task-graph generator (paper Sec. 5, method of ref. [22]).
+
+The paper generates random DAGs "using the same method as in [22]"
+(Shi & Dongarra, FGCS 2006) with four inputs: task count ``n``, shape
+parameter ``alpha``, average computation cost ``cc`` and the
+communication-to-computation ratio ``CCR``.  That family of generators
+(also used by Topcuoglu et al. for HEFT) is *layered*:
+
+* the graph height (number of levels) is drawn around ``sqrt(n) / alpha``;
+* level widths are drawn around ``alpha * sqrt(n)`` and normalised to sum
+  to ``n`` — so ``alpha > 1`` yields short/fat (highly parallel) graphs and
+  ``alpha < 1`` long/thin (sequential) ones;
+* every non-entry task gets at least one parent in the previous level plus
+  a random number of extra parents from any earlier level.
+
+Edge data sizes are drawn uniformly with mean ``CCR * cc`` so that, on a
+platform with unit transfer rates, the average communication cost over
+average computation cost equals ``CCR``.  (Computation costs themselves
+come from the platform layer's COV-based ETC generator, which uses ``cc``
+as ``mu_task``.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["DagParams", "random_dag", "random_layering"]
+
+
+@dataclass(frozen=True)
+class DagParams:
+    """Inputs of the layered random-DAG generator.
+
+    Attributes
+    ----------
+    n:
+        Number of tasks (paper default 100).
+    alpha:
+        Shape parameter (paper default 1.0).  Height is drawn around
+        ``sqrt(n)/alpha``, width around ``alpha*sqrt(n)``.
+    cc:
+        Average computation cost / ``mu_task`` (paper default 20).  Stored
+        here because the paper treats it as a graph-generation input; it is
+        consumed by :func:`repro.platform.etc.generate_etc`.
+    ccr:
+        Communication-to-computation ratio (paper default 0.1).
+    extra_in_degree:
+        Mean number of *additional* parents per non-entry task beyond the
+        one guaranteed previous-level parent.  Controls edge density; the
+        default 1.0 gives sparse workflow-like graphs.
+    """
+
+    n: int = 100
+    alpha: float = 1.0
+    cc: float = 20.0
+    ccr: float = 0.1
+    extra_in_degree: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        check_positive("alpha", self.alpha)
+        check_positive("cc", self.cc)
+        check_positive("ccr", self.ccr, strict=False)
+        check_positive("extra_in_degree", self.extra_in_degree, strict=False)
+
+    @property
+    def mean_data_size(self) -> float:
+        """Mean edge data size implied by ``ccr`` and ``cc``."""
+        return self.ccr * self.cc
+
+
+def random_layering(
+    n: int, alpha: float, rng: np.random.Generator
+) -> list[np.ndarray]:
+    """Partition tasks ``0..n-1`` into levels per the shape parameter.
+
+    The number of levels is drawn uniformly from
+    ``[0.5 * sqrt(n)/alpha, 1.5 * sqrt(n)/alpha]`` (clamped to ``[1, n]``);
+    level widths are proportional to uniform draws in ``[0.5, 1.5]`` and
+    normalised to sum to ``n`` with every level non-empty.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        ``levels[l]`` holds the task ids of level ``l``; ids are assigned
+        consecutively level by level, so every edge will go from a lower to
+        a higher id.
+    """
+    mean_height = math.sqrt(n) / alpha
+    lo, hi = 0.5 * mean_height, 1.5 * mean_height
+    height = int(round(rng.uniform(lo, hi)))
+    height = max(1, min(n, height))
+
+    raw = rng.uniform(0.5, 1.5, size=height)
+    widths = np.maximum(1, np.floor(raw / raw.sum() * n).astype(np.int64))
+    # Fix rounding drift while keeping every level >= 1.
+    diff = int(n - widths.sum())
+    while diff != 0:
+        idx = int(rng.integers(height))
+        if diff > 0:
+            widths[idx] += 1
+            diff -= 1
+        elif widths[idx] > 1:
+            widths[idx] -= 1
+            diff += 1
+    levels: list[np.ndarray] = []
+    start = 0
+    for w in widths:
+        levels.append(np.arange(start, start + int(w), dtype=np.int64))
+        start += int(w)
+    assert start == n
+    return levels
+
+
+def random_dag(
+    params: DagParams,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str | None = None,
+) -> TaskGraph:
+    """Generate a random layered DAG with data sizes.
+
+    Parameters
+    ----------
+    params:
+        Generator inputs; see :class:`DagParams`.
+    rng:
+        Seed or generator.
+    name:
+        Optional graph label.
+
+    Returns
+    -------
+    TaskGraph
+        Tasks are numbered level by level; every non-entry task has at
+        least one parent in the immediately preceding level (so
+        :func:`repro.graph.analysis.dag_levels` recovers the layering).
+    """
+    gen = as_generator(rng)
+    n = params.n
+    levels = random_layering(n, params.alpha, gen)
+
+    edges: list[tuple[int, int]] = []
+    for l in range(1, len(levels)):
+        prev = levels[l - 1]
+        earlier = np.arange(levels[l][0], dtype=np.int64)  # all ids before level l
+        for v in levels[l]:
+            v = int(v)
+            parent = int(prev[gen.integers(prev.size)])
+            chosen = {parent}
+            n_extra = int(gen.poisson(params.extra_in_degree))
+            n_extra = min(n_extra, earlier.size - 1)
+            if n_extra > 0:
+                extra = gen.choice(earlier, size=n_extra, replace=False)
+                chosen.update(int(u) for u in extra)
+            edges.extend((u, v) for u in sorted(chosen))
+
+    mean_data = params.mean_data_size
+    data = gen.uniform(0.0, 2.0 * mean_data, size=len(edges)) if edges else []
+    label = name or f"dag(n={n},alpha={params.alpha},ccr={params.ccr})"
+    return TaskGraph(n, edges, data, name=label)

@@ -1,0 +1,301 @@
+"""Immutable DAG task-graph data structure (paper Sec. 3.1).
+
+A task graph is ``G = (V, E)`` with ``n`` tasks and a data-size attached to
+every directed edge (the paper's matrix ``D``; we store it sparsely).  The
+structure is numpy-backed and immutable: construction validates acyclicity
+and precomputes CSR-style predecessor/successor indexes used by the
+schedule evaluator, which is the hot path of the whole library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["TaskGraph"]
+
+
+def _build_csr(
+    n: int, keys: np.ndarray, order: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group edge indices by *keys* (node ids) into a CSR (indptr, indices) pair.
+
+    ``indices[indptr[v]:indptr[v+1]]`` lists positions into the edge arrays
+    of all edges whose *keys* entry equals ``v``, following *order*.
+    """
+    counts = np.bincount(keys, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, order.astype(np.int64, copy=False)
+
+
+class TaskGraph:
+    """A directed acyclic task graph with per-edge data sizes.
+
+    Parameters
+    ----------
+    n:
+        Number of tasks; tasks are identified by integers ``0..n-1``.
+    edges:
+        Iterable of ``(u, v)`` precedence pairs (``u`` must complete before
+        ``v`` starts).  Duplicate edges are rejected.
+    data_sizes:
+        Per-edge amount of data transferred from ``u`` to ``v`` (the paper's
+        ``d_uv``), aligned with *edges*.  Defaults to zeros (no
+        communication).
+    name:
+        Optional label used in ``repr`` and experiment reports.
+
+    Raises
+    ------
+    ValueError
+        If an edge endpoint is out of range, an edge is duplicated or a
+        self-loop, a data size is negative, or the graph contains a cycle.
+
+    Notes
+    -----
+    The instance is logically immutable: all arrays are set non-writeable.
+    Derived quantities (entry/exit nodes, a canonical topological order)
+    are computed eagerly because every downstream component needs them.
+    """
+
+    __slots__ = (
+        "n",
+        "name",
+        "edge_src",
+        "edge_dst",
+        "edge_data",
+        "_succ_indptr",
+        "_succ_eidx",
+        "_pred_indptr",
+        "_pred_eidx",
+        "_topo",
+        "_entry",
+        "_exit",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[tuple[int, int]] = (),
+        data_sizes: Iterable[float] | None = None,
+        *,
+        name: str = "taskgraph",
+    ) -> None:
+        if n <= 0:
+            raise ValueError(f"task graph needs at least one task, got n={n}")
+        self.n = int(n)
+        self.name = str(name)
+
+        edge_list = [(int(u), int(v)) for u, v in edges]
+        m = len(edge_list)
+        src = np.fromiter((u for u, _ in edge_list), dtype=np.int64, count=m)
+        dst = np.fromiter((v for _, v in edge_list), dtype=np.int64, count=m)
+        if m and (src.min() < 0 or dst.min() < 0 or src.max() >= n or dst.max() >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any(src == dst):
+            raise ValueError("self-loops are not allowed in a task graph")
+        if len({*edge_list}) != m:
+            raise ValueError("duplicate edges are not allowed")
+
+        if data_sizes is None:
+            data = np.zeros(m, dtype=np.float64)
+        else:
+            data = np.asarray(list(data_sizes), dtype=np.float64)
+            if data.shape != (m,):
+                raise ValueError(
+                    f"data_sizes must have one entry per edge ({m}), got {data.shape}"
+                )
+            if np.any(~np.isfinite(data)) or np.any(data < 0):
+                raise ValueError("data sizes must be finite and non-negative")
+
+        # Canonical edge order: sorted by (src, dst) for reproducibility.
+        order = np.lexsort((dst, src))
+        self.edge_src = src[order]
+        self.edge_dst = dst[order]
+        self.edge_data = data[order]
+
+        succ_order = np.argsort(self.edge_src, kind="stable")
+        self._succ_indptr, self._succ_eidx = _build_csr(n, self.edge_src, succ_order)
+        pred_order = np.argsort(self.edge_dst, kind="stable")
+        self._pred_indptr, self._pred_eidx = _build_csr(n, self.edge_dst, pred_order)
+
+        self._topo = self._kahn_topological_order()
+
+        indeg = np.bincount(self.edge_dst, minlength=n)
+        outdeg = np.bincount(self.edge_src, minlength=n)
+        self._entry = np.flatnonzero(indeg == 0)
+        self._exit = np.flatnonzero(outdeg == 0)
+
+        for arr in (
+            self.edge_src,
+            self.edge_dst,
+            self.edge_data,
+            self._succ_indptr,
+            self._succ_eidx,
+            self._pred_indptr,
+            self._pred_eidx,
+            self._topo,
+            self._entry,
+            self._exit,
+        ):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(
+        cls,
+        succ: Mapping[int, Iterable[int]],
+        data: Mapping[tuple[int, int], float] | None = None,
+        *,
+        n: int | None = None,
+        name: str = "taskgraph",
+    ) -> "TaskGraph":
+        """Build from an adjacency mapping ``{u: [v, ...]}``.
+
+        ``n`` defaults to ``max node id + 1``.  *data* maps ``(u, v)`` to a
+        data size; missing edges default to 0.
+        """
+        edges = [(u, v) for u, vs in succ.items() for v in vs]
+        if n is None:
+            ids = [u for u, _ in edges] + [v for _, v in edges] + list(succ)
+            n = (max(ids) + 1) if ids else 1
+        sizes = None
+        if data is not None:
+            sizes = [float(data.get((u, v), 0.0)) for u, v in edges]
+        return cls(n, edges, sizes, name=name)
+
+    @classmethod
+    def from_networkx(cls, graph, *, weight: str = "data", name: str | None = None) -> "TaskGraph":
+        """Build from a :class:`networkx.DiGraph` with integer nodes ``0..n-1``.
+
+        Edge attribute *weight* (default ``"data"``) supplies data sizes.
+        """
+        nodes = sorted(graph.nodes)
+        if nodes != list(range(len(nodes))):
+            raise ValueError("networkx graph nodes must be exactly 0..n-1")
+        edges = list(graph.edges)
+        sizes = [float(graph.edges[e].get(weight, 0.0)) for e in edges]
+        return cls(len(nodes), edges, sizes, name=name or "from_networkx")
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with a ``data`` edge attribute."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        g.add_nodes_from(range(self.n))
+        for u, v, d in zip(self.edge_src, self.edge_dst, self.edge_data):
+            g.add_edge(int(u), int(v), data=float(d))
+        return g
+
+    # ------------------------------------------------------------------ #
+    # Topology queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_edges(self) -> int:
+        """Number of precedence edges."""
+        return int(self.edge_src.shape[0])
+
+    @property
+    def entry_nodes(self) -> np.ndarray:
+        """Tasks with no predecessors."""
+        return self._entry
+
+    @property
+    def exit_nodes(self) -> np.ndarray:
+        """Tasks with no successors."""
+        return self._exit
+
+    @property
+    def topological(self) -> np.ndarray:
+        """A canonical (deterministic) topological order of the tasks."""
+        return self._topo
+
+    def successor_edge_indices(self, v: int) -> np.ndarray:
+        """Indices into the edge arrays of edges leaving *v*."""
+        return self._succ_eidx[self._succ_indptr[v] : self._succ_indptr[v + 1]]
+
+    def predecessor_edge_indices(self, v: int) -> np.ndarray:
+        """Indices into the edge arrays of edges entering *v*."""
+        return self._pred_eidx[self._pred_indptr[v] : self._pred_indptr[v + 1]]
+
+    def successors(self, v: int) -> np.ndarray:
+        """Immediate successors of task *v*."""
+        return self.edge_dst[self.successor_edge_indices(v)]
+
+    def predecessors(self, v: int) -> np.ndarray:
+        """Immediate predecessors of task *v*."""
+        return self.edge_src[self.predecessor_edge_indices(v)]
+
+    def in_degree(self) -> np.ndarray:
+        """In-degree of every task."""
+        return np.bincount(self.edge_dst, minlength=self.n)
+
+    def out_degree(self) -> np.ndarray:
+        """Out-degree of every task."""
+        return np.bincount(self.edge_src, minlength=self.n)
+
+    def data_size(self, u: int, v: int) -> float:
+        """Data transferred along edge ``(u, v)``; raises if absent."""
+        for e in self.successor_edge_indices(u):
+            if self.edge_dst[e] == v:
+                return float(self.edge_data[e])
+        raise KeyError(f"edge ({u}, {v}) not in task graph")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether precedence edge ``(u, v)`` exists."""
+        return bool(np.any(self.edge_dst[self.successor_edge_indices(u)] == v))
+
+    def edges(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(u, v, data_size)`` triples in canonical order."""
+        for u, v, d in zip(self.edge_src, self.edge_dst, self.edge_data):
+            yield int(u), int(v), float(d)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _kahn_topological_order(self) -> np.ndarray:
+        """Deterministic Kahn topological sort; raises on cycles."""
+        indeg = np.bincount(self.edge_dst, minlength=self.n).astype(np.int64)
+        # Min-heap-free deterministic variant: scan a ready list kept sorted
+        # by node id (n is small; clarity over asymptotics here).
+        import heapq
+
+        ready = [int(v) for v in np.flatnonzero(indeg == 0)]
+        heapq.heapify(ready)
+        order = np.empty(self.n, dtype=np.int64)
+        k = 0
+        while ready:
+            v = heapq.heappop(ready)
+            order[k] = v
+            k += 1
+            for e in self.successor_edge_indices(v):
+                w = int(self.edge_dst[e])
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    heapq.heappush(ready, w)
+        if k != self.n:
+            raise ValueError("task graph contains a cycle")
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskGraph(name={self.name!r}, n={self.n}, edges={self.num_edges})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskGraph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and np.array_equal(self.edge_src, other.edge_src)
+            and np.array_equal(self.edge_dst, other.edge_dst)
+            and np.array_equal(self.edge_data, other.edge_data)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.edge_src.tobytes(), self.edge_dst.tobytes()))

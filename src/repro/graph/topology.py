@@ -1,0 +1,119 @@
+"""Topological-order utilities.
+
+The GA chromosome (Sec. 4.2.1) carries a *scheduling string* — a topological
+order of the task graph.  This module provides uniform-ish random
+topological sorts (for initial-population generation, Sec. 4.2.2), validity
+checks (used by operators and property tests), and ancestor/descendant
+closures (used by the mutation operator's legal-window computation,
+Sec. 4.2.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.taskgraph import TaskGraph
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "topological_order",
+    "random_topological_order",
+    "is_topological_order",
+    "ancestors_mask",
+    "descendants_mask",
+]
+
+
+def topological_order(graph: TaskGraph) -> np.ndarray:
+    """The graph's canonical deterministic topological order."""
+    return graph.topological
+
+
+def random_topological_order(
+    graph: TaskGraph, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Sample a random topological order via randomized Kahn's algorithm.
+
+    At each step one task is drawn uniformly from the current ready set.
+    This does not sample uniformly over all linear extensions (that is
+    #P-hard), but it reaches every linear extension with positive
+    probability, which is all the GA requires for population diversity.
+
+    Parameters
+    ----------
+    graph:
+        The task graph.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    numpy.ndarray
+        Permutation of ``0..n-1`` respecting all precedence constraints.
+    """
+    gen = as_generator(rng)
+    n = graph.n
+    indeg = graph.in_degree().astype(np.int64).copy()
+    ready = list(map(int, np.flatnonzero(indeg == 0)))
+    order = np.empty(n, dtype=np.int64)
+    for k in range(n):
+        if not ready:
+            raise ValueError("task graph contains a cycle")
+        pick = int(gen.integers(len(ready)))
+        # Swap-pop keeps the draw O(1).
+        ready[pick], ready[-1] = ready[-1], ready[pick]
+        v = ready.pop()
+        order[k] = v
+        for w in graph.successors(v):
+            w = int(w)
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                ready.append(w)
+    return order
+
+
+def is_topological_order(graph: TaskGraph, order: np.ndarray) -> bool:
+    """Check that *order* is a permutation of tasks respecting all edges."""
+    order = np.asarray(order, dtype=np.int64)
+    if order.shape != (graph.n,):
+        return False
+    position = np.empty(graph.n, dtype=np.int64)
+    seen = np.zeros(graph.n, dtype=bool)
+    for pos, v in enumerate(order):
+        if v < 0 or v >= graph.n or seen[v]:
+            return False
+        seen[v] = True
+        position[v] = pos
+    return bool(np.all(position[graph.edge_src] < position[graph.edge_dst]))
+
+
+def _closure_mask(graph: TaskGraph, start: int, *, forward: bool) -> np.ndarray:
+    """Reachability mask from *start* following edges forward or backward.
+
+    Single pass over the canonical topological order — O(n + |E|).
+    """
+    mask = np.zeros(graph.n, dtype=bool)
+    mask[start] = True
+    topo = graph.topological if forward else graph.topological[::-1]
+    for v in topo:
+        v = int(v)
+        if not mask[v]:
+            continue
+        nbrs = graph.successors(v) if forward else graph.predecessors(v)
+        mask[nbrs] = True
+    mask[start] = False
+    return mask
+
+
+def descendants_mask(graph: TaskGraph, v: int) -> np.ndarray:
+    """Boolean mask of all strict descendants of task *v*."""
+    if not (0 <= v < graph.n):
+        raise ValueError(f"task id {v} out of range")
+    return _closure_mask(graph, v, forward=True)
+
+
+def ancestors_mask(graph: TaskGraph, v: int) -> np.ndarray:
+    """Boolean mask of all strict ancestors of task *v*."""
+    if not (0 <= v < graph.n):
+        raise ValueError(f"task id {v} out of range")
+    return _closure_mask(graph, v, forward=False)

@@ -1,0 +1,225 @@
+"""Structured task-graph generators for classic parallel workloads.
+
+The random layered generator (:mod:`repro.graph.generator`) covers the
+paper's evaluation; this module adds the *structured* application graphs
+that the surrounding literature — including the HEFT paper the baseline
+comes from — evaluates on:
+
+* :func:`gaussian_elimination` — the k-step GE dependency graph;
+* :func:`fft` — the recursive/butterfly FFT task graph;
+* :func:`fork_join` — parallel stages between a scatter and a gather;
+* :func:`pipeline` — a width-w, depth-d systolic pipeline (stencil);
+* :func:`laplace` — the diamond-shaped Laplace equation solver graph;
+* :func:`in_tree` / :func:`out_tree` — reduction / broadcast trees.
+
+Each returns a :class:`~repro.graph.taskgraph.TaskGraph` with uniform
+data sizes (scale with ``data_size``).  Useful for examples, tests and
+structure-sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "gaussian_elimination",
+    "fft",
+    "fork_join",
+    "pipeline",
+    "laplace",
+    "in_tree",
+    "out_tree",
+]
+
+
+def _build(name: str, n: int, edges: list[tuple[int, int]], data_size: float) -> TaskGraph:
+    return TaskGraph(n, edges, [data_size] * len(edges), name=name)
+
+
+def gaussian_elimination(matrix_size: int, *, data_size: float = 1.0) -> TaskGraph:
+    """Gaussian-elimination task graph for an ``m x m`` matrix.
+
+    Step ``k`` (k = 1..m-1) has one pivot task ``T_kk`` followed by
+    ``m - k`` update tasks ``T_kj`` (j > k); ``T_kk`` feeds every ``T_kj``
+    of its step, and each ``T_kj`` feeds both the next step's pivot
+    (j == k+1) and the next step's update in the same column.  Total
+    tasks: ``(m^2 + m - 2) / 2``.
+
+    Parameters
+    ----------
+    matrix_size:
+        ``m >= 2``.
+    """
+    m = matrix_size
+    if m < 2:
+        raise ValueError(f"matrix_size must be >= 2, got {m}")
+    ids: dict[tuple[int, int], int] = {}
+    counter = 0
+    for k in range(1, m):
+        ids[(k, k)] = counter  # pivot T_kk
+        counter += 1
+        for j in range(k + 1, m + 1):
+            ids[(k, j)] = counter  # update T_kj
+            counter += 1
+    edges: list[tuple[int, int]] = []
+    for k in range(1, m):
+        for j in range(k + 1, m + 1):
+            edges.append((ids[(k, k)], ids[(k, j)]))  # pivot -> update
+        if k + 1 < m:
+            # T_k,k+1 -> next pivot; T_kj -> T_k+1,j for j >= k+2.
+            edges.append((ids[(k, k + 1)], ids[(k + 1, k + 1)]))
+            for j in range(k + 2, m + 1):
+                edges.append((ids[(k, j)], ids[(k + 1, j)]))
+    return _build(f"gauss(m={m})", counter, edges, data_size)
+
+
+def fft(points: int, *, data_size: float = 1.0) -> TaskGraph:
+    """FFT task graph for a power-of-two input size.
+
+    The classic two-part shape: a binary recursive-call tree feeding
+    ``log2(points) + 1`` layers of ``points`` butterfly tasks.
+    """
+    p = points
+    if p < 2 or p & (p - 1):
+        raise ValueError(f"points must be a power of two >= 2, got {p}")
+    import math
+
+    levels = int(math.log2(p))
+    edges: list[tuple[int, int]] = []
+
+    # Recursive-call tree: level l has 2^l nodes, l = 0..levels-1.
+    tree_ids: list[list[int]] = []
+    counter = 0
+    for l in range(levels):
+        row = list(range(counter, counter + (1 << l)))
+        tree_ids.append(row)
+        counter += len(row)
+    for l in range(levels - 1):
+        for i, parent in enumerate(tree_ids[l]):
+            edges.append((parent, tree_ids[l + 1][2 * i]))
+            edges.append((parent, tree_ids[l + 1][2 * i + 1]))
+
+    # Butterfly part: levels+1 rows of p tasks each; leaves of the call
+    # tree feed the first butterfly row.
+    rows: list[list[int]] = []
+    for _ in range(levels + 1):
+        rows.append(list(range(counter, counter + p)))
+        counter += p
+    leaf_row = tree_ids[-1]
+    span = p // len(leaf_row)
+    for i, leaf in enumerate(leaf_row):
+        for j in range(i * span, (i + 1) * span):
+            edges.append((leaf, rows[0][j]))
+    for l in range(levels):
+        stride = p >> (l + 1)
+        for j in range(p):
+            partner = j ^ stride
+            edges.append((rows[l][j], rows[l + 1][j]))
+            edges.append((rows[l][j], rows[l + 1][partner]))
+    # Deduplicate (partner pairing adds each edge once, but keep safe).
+    edges = sorted(set(edges))
+    return _build(f"fft(p={p})", counter, edges, data_size)
+
+
+def fork_join(
+    stages: int, width: int, *, data_size: float = 1.0
+) -> TaskGraph:
+    """``stages`` fork-join phases of ``width`` parallel tasks each.
+
+    Each phase: one fork task -> ``width`` parallel tasks -> one join
+    task; the join feeds the next fork.
+    """
+    if stages < 1 or width < 1:
+        raise ValueError("stages and width must be >= 1")
+    edges: list[tuple[int, int]] = []
+    counter = 0
+    prev_join: int | None = None
+    for _ in range(stages):
+        fork = counter
+        counter += 1
+        workers = list(range(counter, counter + width))
+        counter += width
+        join = counter
+        counter += 1
+        if prev_join is not None:
+            edges.append((prev_join, fork))
+        for w in workers:
+            edges.append((fork, w))
+            edges.append((w, join))
+        prev_join = join
+    return _build(f"forkjoin(s={stages},w={width})", counter, edges, data_size)
+
+
+def pipeline(depth: int, width: int, *, data_size: float = 1.0) -> TaskGraph:
+    """A ``depth x width`` systolic pipeline (wavefront/stencil).
+
+    Task (i, j) depends on (i-1, j) (same lane, previous stage) and
+    (i-1, j-1) (neighbour lane) — the 2-point stencil shape.
+    """
+    if depth < 1 or width < 1:
+        raise ValueError("depth and width must be >= 1")
+    def tid(i: int, j: int) -> int:
+        return i * width + j
+
+    edges: list[tuple[int, int]] = []
+    for i in range(1, depth):
+        for j in range(width):
+            edges.append((tid(i - 1, j), tid(i, j)))
+            if j > 0:
+                edges.append((tid(i - 1, j - 1), tid(i, j)))
+    return _build(f"pipeline(d={depth},w={width})", depth * width, edges, data_size)
+
+
+def laplace(size: int, *, data_size: float = 1.0) -> TaskGraph:
+    """The diamond-shaped Laplace-solver task graph of side ``size``.
+
+    Width grows 1..size then shrinks back to 1; each task feeds its one
+    or two successors in the next row (the classic diamond DAG).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    rows: list[list[int]] = []
+    counter = 0
+    widths = list(range(1, size + 1)) + list(range(size - 1, 0, -1))
+    for w in widths:
+        rows.append(list(range(counter, counter + w)))
+        counter += w
+    edges: list[tuple[int, int]] = []
+    for r in range(len(rows) - 1):
+        cur, nxt = rows[r], rows[r + 1]
+        if len(nxt) > len(cur):  # expanding half
+            for j, v in enumerate(cur):
+                edges.append((v, nxt[j]))
+                edges.append((v, nxt[j + 1]))
+        else:  # contracting half
+            for j, v in enumerate(nxt):
+                edges.append((cur[j], v))
+                edges.append((cur[j + 1], v))
+    return _build(f"laplace(s={size})", counter, edges, data_size)
+
+
+def out_tree(depth: int, fanout: int = 2, *, data_size: float = 1.0) -> TaskGraph:
+    """Broadcast tree: each node feeds ``fanout`` children, ``depth`` levels."""
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be >= 1")
+    edges: list[tuple[int, int]] = []
+    counter = 1
+    frontier = [0]
+    for _ in range(depth - 1):
+        nxt: list[int] = []
+        for parent in frontier:
+            for _ in range(fanout):
+                edges.append((parent, counter))
+                nxt.append(counter)
+                counter += 1
+        frontier = nxt
+    return _build(f"outtree(d={depth},f={fanout})", counter, edges, data_size)
+
+
+def in_tree(depth: int, fanin: int = 2, *, data_size: float = 1.0) -> TaskGraph:
+    """Reduction tree: the mirror of :func:`out_tree` (leaves to root)."""
+    tree = out_tree(depth, fanin, data_size=data_size)
+    n = tree.n
+    # Reverse every edge and relabel so ids still increase along edges.
+    edges = [(n - 1 - v, n - 1 - u) for u, v, _ in tree.edges()]
+    return _build(f"intree(d={depth},f={fanin})", n, edges, data_size)

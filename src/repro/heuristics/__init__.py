@@ -1,0 +1,41 @@
+"""Deterministic scheduling heuristics.
+
+* :class:`~repro.heuristics.heft.HeftScheduler` — the HEFT algorithm of
+  Topcuoglu, Hariri & Wu (ref. [24]), the paper's baseline and the source
+  of both the ε-constraint bound ``M_HEFT`` (Eqn. 7) and the GA's seed
+  chromosome (Sec. 4.2.2).
+* :class:`~repro.heuristics.cpop.CpopScheduler` — CPOP, from the same
+  paper, as an extra baseline for tests and ablations.
+* :class:`~repro.heuristics.minmin.MinMinScheduler` — a min-min style
+  ready-list scheduler.
+* :class:`~repro.heuristics.random_sched.RandomScheduler` — uniformly
+  random valid schedules (GA initial population, Sec. 4.2.2).
+
+All heuristics see only the *expected* execution-time matrix, matching the
+paper's information model.
+"""
+
+from repro.heuristics.annealing import AnnealingParams, AnnealingScheduler
+from repro.heuristics.base import PartialSchedule, Scheduler
+from repro.heuristics.cpop import CpopScheduler
+from repro.heuristics.heft import HeftScheduler, upward_ranks
+from repro.heuristics.minmin import MinMinScheduler
+from repro.heuristics.padded import QuantileHeftScheduler
+from repro.heuristics.peft import PeftScheduler, optimistic_cost_table
+from repro.heuristics.random_sched import RandomScheduler, random_schedule
+
+__all__ = [
+    "Scheduler",
+    "PartialSchedule",
+    "HeftScheduler",
+    "upward_ranks",
+    "CpopScheduler",
+    "MinMinScheduler",
+    "QuantileHeftScheduler",
+    "PeftScheduler",
+    "optimistic_cost_table",
+    "AnnealingScheduler",
+    "AnnealingParams",
+    "RandomScheduler",
+    "random_schedule",
+]

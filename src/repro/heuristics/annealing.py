@@ -1,0 +1,172 @@
+"""Simulated-annealing scheduler.
+
+The paper groups GAs with simulated annealing under "guided random search
+methods" (Sec. 1, ref. [15]); this module provides the SA member of that
+family as an alternative search engine over the same solution encoding —
+the chromosome's (topological order, processor map) — with the GA's
+topological-window mutation as the neighbourhood move.
+
+Three energy modes mirror the GA fitness policies:
+
+* ``"makespan"`` — minimize expected makespan;
+* ``"slack"`` — maximize average slack;
+* ``"eps-slack"`` — maximize slack subject to ``M_0 <= eps * M_HEFT``
+  (violations pay a steep penalty proportional to the overshoot).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.ga.chromosome import Chromosome, heft_chromosome, random_chromosome
+from repro.ga.mutation import mutate
+from repro.schedule.evaluation import evaluate
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import as_generator
+
+__all__ = ["AnnealingParams", "AnnealingScheduler"]
+
+
+@dataclass(frozen=True)
+class AnnealingParams:
+    """SA hyper-parameters.
+
+    Attributes
+    ----------
+    iterations:
+        Total mutation proposals.
+    initial_temp:
+        Starting temperature, *relative* to the initial energy magnitude
+        (the absolute scale is set automatically so acceptance behaviour
+        is instance-size independent).
+    cooling:
+        Geometric cooling factor applied every iteration.
+    restarts:
+        Independent chains; the best end state wins.
+    seed_heft:
+        Start chains from the HEFT chromosome (first chain only; the rest
+        start random).
+    """
+
+    iterations: int = 2000
+    initial_temp: float = 0.1
+    cooling: float = 0.998
+    restarts: int = 1
+    seed_heft: bool = True
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.initial_temp <= 0:
+            raise ValueError("initial_temp must be positive")
+        if not (0.0 < self.cooling <= 1.0):
+            raise ValueError("cooling must be in (0, 1]")
+        if self.restarts < 1:
+            raise ValueError("restarts must be >= 1")
+
+
+class AnnealingScheduler:
+    """Simulated annealing over the GA's chromosome space.
+
+    Parameters
+    ----------
+    objective:
+        ``"makespan"``, ``"slack"`` or ``"eps-slack"``.
+    epsilon:
+        Budget multiplier, required iff ``objective == "eps-slack"``.
+    params:
+        SA hyper-parameters.
+    rng:
+        Seed or generator.
+    """
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        objective: str = "makespan",
+        *,
+        epsilon: float | None = None,
+        params: AnnealingParams | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if objective not in ("makespan", "slack", "eps-slack"):
+            raise ValueError(f"unknown objective {objective!r}")
+        if objective == "eps-slack" and (epsilon is None or epsilon <= 0):
+            raise ValueError("eps-slack objective requires a positive epsilon")
+        self.objective = objective
+        self.epsilon = epsilon
+        self.params = params or AnnealingParams()
+        self._rng = as_generator(rng)
+
+    # ------------------------------------------------------------------ #
+
+    def _energy_fn(self, problem: SchedulingProblem):
+        if self.objective == "makespan":
+            return lambda makespan, slack: makespan
+        if self.objective == "slack":
+            return lambda makespan, slack: -slack
+        from repro.heuristics.heft import HeftScheduler
+        from repro.schedule.evaluation import expected_makespan
+
+        bound = self.epsilon * expected_makespan(HeftScheduler().schedule(problem))
+
+        def eps_energy(makespan: float, slack: float) -> float:
+            if makespan <= bound * (1 + 1e-12):
+                return -slack
+            # Infeasible: dominated by every feasible state (slack >= 0 so
+            # feasible energies are <= 0), ordered by violation.
+            return (makespan - bound) / bound
+
+        return eps_energy
+
+    def _evaluate(self, problem: SchedulingProblem, c: Chromosome) -> tuple[float, float]:
+        ev = evaluate(c.decode(problem))
+        return ev.makespan, ev.avg_slack
+
+    def run(self, problem: SchedulingProblem) -> tuple[Chromosome, float]:
+        """Anneal and return ``(best chromosome, best energy)``."""
+        params = self.params
+        gen = self._rng
+        energy_of = self._energy_fn(problem)
+
+        best: Chromosome | None = None
+        best_energy = math.inf
+        for chain in range(params.restarts):
+            if chain == 0 and params.seed_heft:
+                current = heft_chromosome(problem)
+            else:
+                current = random_chromosome(problem, gen)
+            cur_makespan, cur_slack = self._evaluate(problem, current)
+            cur_energy = energy_of(cur_makespan, cur_slack)
+            # Absolute temperature scale: relative temp x initial magnitude.
+            scale = max(abs(cur_energy), 1e-9)
+            temp = params.initial_temp * scale
+
+            if cur_energy < best_energy:
+                best, best_energy = current, cur_energy
+
+            for _ in range(params.iterations):
+                candidate = mutate(problem, current, gen)
+                mk, sl = self._evaluate(problem, candidate)
+                cand_energy = energy_of(mk, sl)
+                delta = cand_energy - cur_energy
+                if delta <= 0 or gen.random() < math.exp(-delta / max(temp, 1e-300)):
+                    current, cur_energy = candidate, cand_energy
+                    if cur_energy < best_energy:
+                        best, best_energy = current, cur_energy
+                temp *= params.cooling
+        assert best is not None
+        return best, best_energy
+
+    def schedule(self, problem: SchedulingProblem) -> Schedule:
+        """Scheduler-protocol facade: anneal and decode the best state."""
+        best, _ = self.run(problem)
+        return best.decode(problem)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AnnealingScheduler(objective={self.objective!r})"

@@ -1,0 +1,95 @@
+"""CPOP — Critical Path On a Processor (Topcuoglu, Hariri & Wu).
+
+Companion heuristic to HEFT from the same paper, included as an additional
+deterministic baseline for tests and ablation benches:
+
+1. priority(i) = rank_u(i) + rank_d(i); the (average-weight) critical path
+   is traced from the highest-priority entry task;
+2. all critical-path tasks go to the single processor minimizing the CP's
+   total expected execution time;
+3. remaining tasks are placed by insertion-based EFT in decreasing
+   priority order, but processed in ready order (a task is scheduled only
+   once all predecessors are placed).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.heuristics.base import PartialSchedule
+from repro.heuristics.heft import downward_ranks, upward_ranks
+from repro.schedule.schedule import Schedule
+
+__all__ = ["CpopScheduler", "critical_path_tasks"]
+
+
+def critical_path_tasks(problem: SchedulingProblem) -> list[int]:
+    """Tasks on the average-weight critical path, traced by priority.
+
+    Starting at the entry task with maximal ``rank_u + rank_d``, repeatedly
+    step to the successor of (numerically) equal priority until an exit
+    task is reached — the CPOP construction.
+    """
+    graph = problem.graph
+    prio = upward_ranks(problem) + downward_ranks(problem)
+    entries = graph.entry_nodes
+    v = int(entries[np.argmax(prio[entries])])
+    cp_value = prio[v]
+    path = [v]
+    tol = 1e-9 * max(cp_value, 1.0)
+    while True:
+        succ = graph.successors(v)
+        if succ.size == 0:
+            break
+        # The on-path successor shares (numerically) the CP priority.
+        cand = succ[np.argmax(prio[succ])]
+        if prio[cand] < cp_value - tol:
+            # Numerical guard: still follow the best successor.
+            pass
+        v = int(cand)
+        path.append(v)
+    return path
+
+
+class CpopScheduler:
+    """Critical-Path-On-a-Processor list scheduler."""
+
+    name = "cpop"
+
+    def schedule(self, problem: SchedulingProblem) -> Schedule:
+        """Build the CPOP schedule for *problem*."""
+        graph = problem.graph
+        prio = upward_ranks(problem) + downward_ranks(problem)
+        cp = set(critical_path_tasks(problem))
+        # Processor minimizing total expected CP execution time.
+        cp_idx = np.asarray(sorted(cp), dtype=np.int64)
+        cp_proc = int(np.argmin(problem.expected_times[cp_idx].sum(axis=0)))
+
+        partial = PartialSchedule(problem)
+        indeg = graph.in_degree().astype(np.int64).copy()
+        # Max-heap on priority (negated); ties by task id for determinism.
+        ready = [(-float(prio[v]), int(v)) for v in np.flatnonzero(indeg == 0)]
+        heapq.heapify(ready)
+        placed = 0
+        while ready:
+            _, v = heapq.heappop(ready)
+            if v in cp:
+                partial.place(v, cp_proc)
+            else:
+                proc, _, _ = partial.best_processor(v)
+                partial.place(v, proc)
+            placed += 1
+            for w in graph.successors(v):
+                w = int(w)
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    heapq.heappush(ready, (-float(prio[w]), w))
+        if placed != problem.n:  # pragma: no cover - graph is validated acyclic
+            raise RuntimeError("CPOP failed to place all tasks")
+        return partial.to_schedule()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CpopScheduler()"

@@ -1,0 +1,31 @@
+"""Serialization: JSON round-trips for problems/schedules, DOT export.
+
+Lets users persist generated instances (so experiments can be re-run and
+shared), save solved schedules, and inspect DAGs/disjunctive graphs with
+Graphviz.
+"""
+
+from repro.io.dot import disjunctive_to_dot, graph_to_dot
+from repro.io.json_io import (
+    load_problem,
+    load_schedule,
+    problem_from_dict,
+    problem_to_dict,
+    save_problem,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+    "graph_to_dot",
+    "disjunctive_to_dot",
+]

@@ -1,0 +1,160 @@
+"""JSON (de)serialization of problems and schedules.
+
+The on-disk format is versioned and self-describing; matrices are nested
+lists (instances are small — 100 x 4 — so readability beats compactness).
+A schedule is stored as its per-processor task orders plus a hash of the
+problem so stale pairings are caught at load time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from typing import Any
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.taskgraph import TaskGraph
+from repro.platform.platform import Platform
+from repro.platform.uncertainty import UncertaintyModel
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "save_problem",
+    "load_problem",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "save_schedule",
+    "load_schedule",
+]
+
+FORMAT_VERSION = 1
+
+
+def _problem_fingerprint(problem: SchedulingProblem) -> str:
+    """Stable content hash used to pair schedules with their problems."""
+    h = hashlib.sha256()
+    h.update(problem.graph.edge_src.tobytes())
+    h.update(problem.graph.edge_dst.tobytes())
+    h.update(problem.graph.edge_data.tobytes())
+    h.update(problem.uncertainty.bcet.tobytes())
+    h.update(problem.uncertainty.ul.tobytes())
+    h.update(problem.platform.transfer_rates.tobytes())
+    return h.hexdigest()[:16]
+
+
+def problem_to_dict(problem: SchedulingProblem) -> dict[str, Any]:
+    """Serialize a problem to a JSON-compatible dict."""
+    tr = problem.platform.transfer_rates.copy()
+    np.fill_diagonal(tr, 1.0)  # inf is not JSON; the diagonal is ignored anyway
+    return {
+        "format": "repro.problem",
+        "version": FORMAT_VERSION,
+        "name": problem.name,
+        "graph": {
+            "n": problem.graph.n,
+            "edges": [[int(u), int(v)] for u, v in
+                      zip(problem.graph.edge_src, problem.graph.edge_dst)],
+            "data_sizes": problem.graph.edge_data.tolist(),
+            "name": problem.graph.name,
+        },
+        "platform": {
+            "m": problem.platform.m,
+            "transfer_rates": tr.tolist(),
+            "name": problem.platform.name,
+        },
+        "uncertainty": {
+            "bcet": problem.uncertainty.bcet.tolist(),
+            "ul": problem.uncertainty.ul.tolist(),
+        },
+        "fingerprint": _problem_fingerprint(problem),
+    }
+
+
+def problem_from_dict(payload: dict[str, Any]) -> SchedulingProblem:
+    """Rebuild a problem from :func:`problem_to_dict` output."""
+    if payload.get("format") != "repro.problem":
+        raise ValueError(f"not a repro problem payload: {payload.get('format')!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported problem format version {payload.get('version')}")
+    g = payload["graph"]
+    graph = TaskGraph(
+        g["n"],
+        [tuple(e) for e in g["edges"]],
+        g["data_sizes"],
+        name=g.get("name", "loaded"),
+    )
+    p = payload["platform"]
+    platform = Platform(
+        p["m"], np.asarray(p["transfer_rates"]), name=p.get("name", "loaded")
+    )
+    u = payload["uncertainty"]
+    uncertainty = UncertaintyModel(np.asarray(u["bcet"]), np.asarray(u["ul"]))
+    problem = SchedulingProblem(
+        graph=graph,
+        platform=platform,
+        uncertainty=uncertainty,
+        name=payload.get("name", "loaded"),
+    )
+    expect = payload.get("fingerprint")
+    if expect is not None and _problem_fingerprint(problem) != expect:
+        raise ValueError("problem fingerprint mismatch: payload is corrupt")
+    return problem
+
+
+def save_problem(problem: SchedulingProblem, path: str | pathlib.Path) -> None:
+    """Write a problem to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(problem_to_dict(problem), indent=1))
+
+
+def load_problem(path: str | pathlib.Path) -> SchedulingProblem:
+    """Read a problem from a JSON file."""
+    return problem_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
+    """Serialize a schedule (orders only + problem fingerprint)."""
+    return {
+        "format": "repro.schedule",
+        "version": FORMAT_VERSION,
+        "problem_fingerprint": _problem_fingerprint(schedule.problem),
+        "proc_orders": [t.tolist() for t in schedule.proc_orders],
+    }
+
+
+def schedule_from_dict(
+    payload: dict[str, Any], problem: SchedulingProblem
+) -> Schedule:
+    """Rebuild a schedule against its (separately loaded) problem.
+
+    Raises
+    ------
+    ValueError
+        If the payload was produced for a different problem.
+    """
+    if payload.get("format") != "repro.schedule":
+        raise ValueError(f"not a repro schedule payload: {payload.get('format')!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported schedule format version {payload.get('version')}"
+        )
+    expect = payload.get("problem_fingerprint")
+    if expect is not None and expect != _problem_fingerprint(problem):
+        raise ValueError(
+            "schedule was saved for a different problem (fingerprint mismatch)"
+        )
+    return Schedule(problem, payload["proc_orders"])
+
+
+def save_schedule(schedule: Schedule, path: str | pathlib.Path) -> None:
+    """Write a schedule to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(schedule_to_dict(schedule), indent=1))
+
+
+def load_schedule(path: str | pathlib.Path, problem: SchedulingProblem) -> Schedule:
+    """Read a schedule from a JSON file and bind it to *problem*."""
+    return schedule_from_dict(json.loads(pathlib.Path(path).read_text()), problem)

@@ -1,0 +1,169 @@
+"""Pareto-dominance utilities (all objectives minimized).
+
+Callers with mixed-orientation objectives (the library's canonical pair is
+*minimize makespan, maximize slack*) negate the maximized columns before
+calling in, e.g. ``np.column_stack([makespans, -slacks])``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dominates",
+    "pareto_front_mask",
+    "non_dominated_sort",
+    "crowding_distance",
+    "hypervolume_2d",
+    "coverage",
+]
+
+
+def _check_objectives(objectives: np.ndarray) -> np.ndarray:
+    obj = np.asarray(objectives, dtype=np.float64)
+    if obj.ndim != 2:
+        raise ValueError(f"objectives must be (N, k), got shape {obj.shape}")
+    if not np.all(np.isfinite(obj)):
+        raise ValueError("objectives must be finite")
+    return obj
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether point *a* Pareto-dominates *b* (<= everywhere, < somewhere)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_front_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows.
+
+    Duplicate points are all kept (none strictly dominates its copy).
+    """
+    obj = _check_objectives(objectives)
+    n = obj.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        # A point dominated by i can never dominate anything i doesn't,
+        # so it is safe to only test the still-unmasked rows.
+        dominated = np.all(obj >= obj[i], axis=1) & np.any(obj > obj[i], axis=1)
+        mask &= ~dominated
+        mask[i] = True
+    return mask
+
+
+def non_dominated_sort(objectives: np.ndarray) -> list[np.ndarray]:
+    """Fast non-dominated sort (Deb et al.): fronts of row indices.
+
+    ``fronts[0]`` is the Pareto front; each later front is the Pareto front
+    of the remainder.
+    """
+    obj = _check_objectives(objectives)
+    n = obj.shape[0]
+    if n == 0:
+        return []
+
+    # Pairwise dominance matrix: dom[i, j] = i dominates j.
+    le = np.all(obj[:, None, :] <= obj[None, :, :], axis=2)
+    lt = np.any(obj[:, None, :] < obj[None, :, :], axis=2)
+    dom = le & lt
+
+    n_dominators = dom.sum(axis=0)
+    fronts: list[np.ndarray] = []
+    remaining = np.ones(n, dtype=bool)
+    counts = n_dominators.astype(np.int64).copy()
+    while np.any(remaining):
+        front = np.flatnonzero(remaining & (counts == 0))
+        if front.size == 0:  # pragma: no cover - impossible for finite inputs
+            raise RuntimeError("non-dominated sort failed to make progress")
+        fronts.append(front)
+        remaining[front] = False
+        counts -= dom[front].sum(axis=0)
+    return fronts
+
+
+def hypervolume_2d(objectives: np.ndarray, reference: np.ndarray) -> float:
+    """Hypervolume (area) dominated by a 2-D minimization front.
+
+    Parameters
+    ----------
+    objectives:
+        ``(N, 2)`` points (all objectives minimized).
+    reference:
+        The reference (nadir) point; points not strictly dominating it
+        contribute nothing.
+
+    Notes
+    -----
+    Standard sweep: sort the non-dominated subset by the first objective
+    and accumulate the rectangles against the reference.  Larger is
+    better.
+    """
+    obj = _check_objectives(objectives)
+    if obj.shape[1] != 2:
+        raise ValueError(f"hypervolume_2d needs 2 objectives, got {obj.shape[1]}")
+    ref = np.asarray(reference, dtype=np.float64)
+    if ref.shape != (2,):
+        raise ValueError(f"reference must have shape (2,), got {ref.shape}")
+
+    inside = np.all(obj < ref, axis=1)
+    if not np.any(inside):
+        return 0.0
+    pts = obj[inside]
+    pts = pts[pareto_front_mask(pts)]
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+    pts = pts[order]
+
+    volume = 0.0
+    prev_y = float(ref[1])
+    for x, y in pts:
+        if y < prev_y:
+            volume += (float(ref[0]) - float(x)) * (prev_y - float(y))
+            prev_y = float(y)
+    return volume
+
+
+def coverage(front_a: np.ndarray, front_b: np.ndarray) -> float:
+    """Zitzler's C-metric: fraction of *front_b* weakly dominated by *front_a*.
+
+    ``coverage(A, B) = 1`` means every point of B is dominated by (or
+    equal to) some point of A; not symmetric.
+    """
+    a = _check_objectives(front_a)
+    b = _check_objectives(front_b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError("fronts must share the objective dimension")
+    if b.shape[0] == 0:
+        raise ValueError("front_b must be non-empty")
+    covered = 0
+    for q in b:
+        weakly = np.all(a <= q, axis=1) & (np.any(a < q, axis=1) | np.all(a == q, axis=1))
+        if np.any(weakly):
+            covered += 1
+    return covered / b.shape[0]
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """Crowding distance of each row within one front (Deb et al.).
+
+    Boundary points of every objective get ``inf``; degenerate objectives
+    (all values equal) contribute nothing.
+    """
+    obj = _check_objectives(objectives)
+    n, k = obj.shape
+    dist = np.zeros(n, dtype=np.float64)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for j in range(k):
+        order = np.argsort(obj[:, j], kind="stable")
+        lo, hi = obj[order[0], j], obj[order[-1], j]
+        dist[order[0]] = np.inf
+        dist[order[-1]] = np.inf
+        span = hi - lo
+        if span <= 0:
+            continue
+        gaps = (obj[order[2:], j] - obj[order[:-2], j]) / span
+        dist[order[1:-1]] += gaps
+    return dist

@@ -1,0 +1,24 @@
+"""Heterogeneous platform layer: processors, execution-time costs, uncertainty.
+
+* :class:`~repro.platform.platform.Platform` — ``m`` fully-connected
+  processors with a transfer-rate matrix (paper Sec. 3.1).
+* :func:`~repro.platform.etc.generate_etc` — the coefficient-of-variation
+  based best-case execution-time generator of Ali et al. (paper Sec. 5).
+* :class:`~repro.platform.uncertainty.UncertaintyModel` — per-(task,
+  processor) uncertainty levels, expected times, and realization sampling.
+"""
+
+from repro.platform.etc import EtcParams, generate_etc
+from repro.platform.platform import Platform
+from repro.platform.trgen import generate_transfer_rates
+from repro.platform.uncertainty import UncertaintyModel, UncertaintyParams, generate_ul
+
+__all__ = [
+    "Platform",
+    "generate_transfer_rates",
+    "EtcParams",
+    "generate_etc",
+    "UncertaintyModel",
+    "UncertaintyParams",
+    "generate_ul",
+]

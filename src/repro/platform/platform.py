@@ -1,0 +1,88 @@
+"""Heterogeneous multiprocessor platform model (paper Sec. 3.1).
+
+The platform is a set ``P = {p_1, ..., p_m}`` of fully-connected processors.
+Inter-processor data-transfer rates are given by an ``m x m`` matrix ``TR``;
+intra-processor communication is free.  Communications are contention-free
+and overlap with computation, so the only role of the platform in schedule
+evaluation is the communication-time lookup
+``comm_time(d, i, j) = d / TR[i, j]`` (0 when ``i == j``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_square
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """``m`` fully-connected heterogeneous processors.
+
+    Parameters
+    ----------
+    m:
+        Number of processors (>= 1).
+    transfer_rates:
+        Optional ``m x m`` matrix of data-transfer rates (data units per
+        time unit) between distinct processors; defaults to all ones
+        (uniform unit-rate network, the configuration the paper's CCR
+        parameter presumes).  Off-diagonal entries must be positive; the
+        diagonal is ignored (intra-processor cost is identically zero).
+    name:
+        Optional label.
+    """
+
+    __slots__ = ("m", "name", "transfer_rates", "_inv_rates")
+
+    def __init__(
+        self,
+        m: int,
+        transfer_rates: np.ndarray | None = None,
+        *,
+        name: str = "platform",
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"platform needs at least one processor, got m={m}")
+        self.m = int(m)
+        self.name = str(name)
+        if transfer_rates is None:
+            tr = np.ones((m, m), dtype=np.float64)
+        else:
+            tr = check_square("transfer_rates", transfer_rates, m)
+            off = ~np.eye(m, dtype=bool)
+            if np.any(tr[off] <= 0):
+                raise ValueError("off-diagonal transfer rates must be positive")
+        np.fill_diagonal(tr, np.inf)  # intra-processor transfer is free
+        self.transfer_rates = tr
+        self._inv_rates = 1.0 / tr  # diagonal becomes exactly 0.0
+        self.transfer_rates.setflags(write=False)
+        self._inv_rates.setflags(write=False)
+
+    def comm_time(self, data: float, src_proc: int, dst_proc: int) -> float:
+        """Time to ship *data* units from ``src_proc`` to ``dst_proc``."""
+        return float(data * self._inv_rates[src_proc, dst_proc])
+
+    def comm_times(
+        self, data: np.ndarray, src_procs: np.ndarray, dst_procs: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`comm_time` over aligned arrays."""
+        data = np.asarray(data, dtype=np.float64)
+        return data * self._inv_rates[src_procs, dst_procs]
+
+    @property
+    def mean_inverse_rate(self) -> float:
+        """Average of ``1/TR`` over *distinct* processor pairs.
+
+        Used by list schedulers (HEFT, CPOP) to form average communication
+        costs for task prioritisation.  Returns 0 for a single-processor
+        platform (no inter-processor links).
+        """
+        if self.m == 1:
+            return 0.0
+        off = ~np.eye(self.m, dtype=bool)
+        return float(self._inv_rates[off].mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Platform(name={self.name!r}, m={self.m})"

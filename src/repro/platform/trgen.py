@@ -1,0 +1,65 @@
+"""Heterogeneous transfer-rate matrix generation.
+
+The paper fixes a deterministic transfer-rate matrix ``TR`` and never
+varies it ("we do not consider the variation in data transfer rates"),
+but its platform model (Sec. 3.1) allows arbitrary heterogeneous rates.
+This generator rounds out the platform layer so experiments can also
+sweep *network* heterogeneity, using the same COV-style parametrization
+as the execution-time generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["generate_transfer_rates"]
+
+
+def generate_transfer_rates(
+    m: int,
+    mean_rate: float = 1.0,
+    v_link: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+    *,
+    symmetric: bool = True,
+) -> np.ndarray:
+    """Generate an ``m x m`` transfer-rate matrix.
+
+    Off-diagonal rates are gamma-distributed with mean *mean_rate* and
+    coefficient of variation *v_link*; the diagonal is set to 1.0 (it is
+    ignored by :class:`~repro.platform.platform.Platform`, which treats
+    intra-processor transfers as free).
+
+    Parameters
+    ----------
+    m:
+        Number of processors (>= 1).
+    mean_rate:
+        Mean link rate (data units per time unit).
+    v_link:
+        Link-heterogeneity coefficient of variation.
+    rng:
+        Seed or generator.
+    symmetric:
+        Whether rate(i, j) == rate(j, i) (full-duplex symmetric links,
+        the common cluster model).  Asymmetric matrices model e.g.
+        up/down-link asymmetry.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    check_positive("mean_rate", mean_rate)
+    check_positive("v_link", v_link)
+    gen = as_generator(rng)
+
+    shape = 1.0 / (v_link * v_link)
+    scale = mean_rate * v_link * v_link
+    rates = gen.gamma(shape=shape, scale=scale, size=(m, m))
+    rates = np.maximum(rates, np.finfo(np.float64).tiny)
+    if symmetric:
+        upper = np.triu(rates, k=1)
+        rates = upper + upper.T
+    np.fill_diagonal(rates, 1.0)
+    return rates

@@ -1,0 +1,45 @@
+"""Robustness evaluation layer (paper Sec. 3.3 and Sec. 5).
+
+* :mod:`~repro.robustness.metrics` — relative tardiness, miss rate, and the
+  two robustness definitions ``R1`` (Def. 3.6) and ``R2`` (Def. 3.7).
+* :mod:`~repro.robustness.montecarlo` — the simulated "real resource
+  environment": sample ``N`` duration realizations, evaluate makespans in
+  one vectorized pass, report all metrics.
+* :mod:`~repro.robustness.performance` — the weighted overall-performance
+  score ``P(s)`` (Eqn. 9).
+"""
+
+from repro.robustness.analysis import (
+    BootstrapCI,
+    bootstrap_robustness,
+    convergence_profile,
+)
+from repro.robustness.clark import (
+    ClarkEstimate,
+    analytic_robustness,
+    clark_makespan,
+)
+from repro.robustness.metrics import (
+    miss_rate,
+    relative_tardiness,
+    robustness_miss_rate,
+    robustness_tardiness,
+)
+from repro.robustness.montecarlo import RobustnessReport, assess_robustness
+from repro.robustness.performance import overall_performance
+
+__all__ = [
+    "relative_tardiness",
+    "miss_rate",
+    "robustness_tardiness",
+    "robustness_miss_rate",
+    "RobustnessReport",
+    "assess_robustness",
+    "overall_performance",
+    "BootstrapCI",
+    "bootstrap_robustness",
+    "convergence_profile",
+    "ClarkEstimate",
+    "clark_makespan",
+    "analytic_robustness",
+]

@@ -1,0 +1,72 @@
+"""Robustness metrics: tardiness, miss rate, R1 and R2 (paper Sec. 3.3).
+
+All functions take the array of realized makespans ``M_1..M_N`` and the
+expected makespan ``M_0`` (makespan under expected durations).  Perfectly
+robust schedules — no realization ever exceeds ``M_0`` — have infinite
+``R1``/``R2``; the experiment layer aggregates with that in mind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_tardiness",
+    "mean_relative_tardiness",
+    "miss_rate",
+    "robustness_tardiness",
+    "robustness_miss_rate",
+]
+
+
+def _check(realized: np.ndarray, expected: float) -> tuple[np.ndarray, float]:
+    realized = np.asarray(realized, dtype=np.float64).ravel()
+    if realized.size == 0:
+        raise ValueError("need at least one realization")
+    expected = float(expected)
+    if expected <= 0:
+        raise ValueError(f"expected makespan must be positive, got {expected}")
+    return realized, expected
+
+
+def relative_tardiness(realized: np.ndarray, expected: float) -> np.ndarray:
+    """Per-realization relative tardiness ``δ_i`` (Eqn. 4).
+
+    ``δ_i = max(0, M_i - M_0) / M_0`` — how far, relatively, realization
+    ``i`` overran the promised makespan.
+    """
+    realized, expected = _check(realized, expected)
+    return np.maximum(0.0, realized - expected) / expected
+
+
+def mean_relative_tardiness(realized: np.ndarray, expected: float) -> float:
+    """Sample estimate of ``E[δ_i]``."""
+    return float(relative_tardiness(realized, expected).mean())
+
+
+def miss_rate(realized: np.ndarray, expected: float) -> float:
+    """Schedule miss rate ``α`` (Def. 3.7): fraction of realizations with ``M_i > M_0``."""
+    realized, expected = _check(realized, expected)
+    return float(np.mean(realized > expected))
+
+
+def robustness_tardiness(realized: np.ndarray, expected: float) -> float:
+    """Tardiness-based robustness ``R1 = 1 / E[δ_i]`` (Eqn. 5).
+
+    Returns ``inf`` when no realization is tardy.
+    """
+    mean_delta = mean_relative_tardiness(realized, expected)
+    if mean_delta == 0.0:
+        return float("inf")
+    return 1.0 / mean_delta
+
+
+def robustness_miss_rate(realized: np.ndarray, expected: float) -> float:
+    """Miss-rate-based robustness ``R2 = 1 / α`` (Eqn. 6).
+
+    Returns ``inf`` when no realization misses.
+    """
+    alpha = miss_rate(realized, expected)
+    if alpha == 0.0:
+        return float("inf")
+    return 1.0 / alpha

@@ -1,0 +1,103 @@
+"""Overall schedule performance ``P(s)`` (paper Eqn. 9).
+
+.. math::
+
+    P(s) = r \\log \\frac{M_{HEFT}}{M(s)} + (1 - r) \\log \\frac{R(s)}{R_{HEFT}}
+
+``r`` weights makespan against robustness: ``r -> 1`` rewards short
+schedules, ``r -> 0`` rewards robust ones.  ``P > 0`` means the schedule
+beats HEFT under that weighting.  ``M(s)`` is the mean *realized* makespan
+(the quantity the paper's Figs. 2/4 plot as "makespan"); ``R`` is either
+``R1`` or ``R2``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.robustness.montecarlo import RobustnessReport
+
+__all__ = ["overall_performance", "performance_from_reports"]
+
+
+def overall_performance(
+    makespan: float,
+    robustness: float,
+    ref_makespan: float,
+    ref_robustness: float,
+    r_weight: float,
+) -> float:
+    """Evaluate Eqn. 9 for one schedule against a reference.
+
+    Parameters
+    ----------
+    makespan, robustness:
+        ``M(s)`` and ``R(s)`` of the schedule under evaluation.
+    ref_makespan, ref_robustness:
+        ``M_HEFT`` and ``R_HEFT`` of the reference schedule.
+    r_weight:
+        User emphasis ``r`` in [0, 1].
+
+    Notes
+    -----
+    Infinite robustness values (schedules that never miss) are handled by
+    the limits of the expression: ``R(s) = inf`` with finite reference gives
+    ``+inf`` (unless ``r = 1``, where the robustness term vanishes); both
+    infinite gives a robustness term of 0 (tie).
+    """
+    if not (0.0 <= r_weight <= 1.0):
+        raise ValueError(f"r_weight must be in [0, 1], got {r_weight}")
+    for name, val in (
+        ("makespan", makespan),
+        ("ref_makespan", ref_makespan),
+    ):
+        if val <= 0 or not math.isfinite(val):
+            raise ValueError(f"{name} must be positive and finite, got {val}")
+    for name, val in (("robustness", robustness), ("ref_robustness", ref_robustness)):
+        if val <= 0:
+            raise ValueError(f"{name} must be positive, got {val}")
+
+    makespan_term = math.log(ref_makespan / makespan)
+
+    inf_s = math.isinf(robustness)
+    inf_ref = math.isinf(ref_robustness)
+    if inf_s and inf_ref:
+        robustness_term = 0.0
+    elif inf_s:
+        robustness_term = math.inf
+    elif inf_ref:
+        robustness_term = -math.inf
+    else:
+        robustness_term = math.log(robustness / ref_robustness)
+
+    if r_weight == 1.0:
+        return makespan_term
+    if r_weight == 0.0:
+        return robustness_term
+    return r_weight * makespan_term + (1.0 - r_weight) * robustness_term
+
+
+def performance_from_reports(
+    report: RobustnessReport,
+    reference: RobustnessReport,
+    r_weight: float,
+    *,
+    which: str = "r1",
+) -> float:
+    """Eqn. 9 straight from two :class:`RobustnessReport` objects.
+
+    Parameters
+    ----------
+    which:
+        ``"r1"`` (tardiness-based, Fig. 7) or ``"r2"`` (miss-rate-based,
+        Fig. 8).
+    """
+    if which not in ("r1", "r2"):
+        raise ValueError(f"which must be 'r1' or 'r2', got {which!r}")
+    return overall_performance(
+        makespan=report.mean_makespan,
+        robustness=getattr(report, which),
+        ref_makespan=reference.mean_makespan,
+        ref_robustness=getattr(reference, which),
+        r_weight=r_weight,
+    )

@@ -1,0 +1,35 @@
+"""Schedule layer: representation, disjunctive graph, evaluation.
+
+* :class:`~repro.schedule.schedule.Schedule` — assignment of tasks to
+  processors with per-processor execution orders (paper Sec. 3.1); builds
+  the disjunctive graph ``G_s`` (Def. 3.1) at construction.
+* :mod:`~repro.schedule.evaluation` — makespan (Claim 3.2), top/bottom
+  levels, slack (Def. 3.3), and vectorized batch makespans for Monte-Carlo
+  robustness evaluation.
+"""
+
+from repro.schedule.evaluation import (
+    ScheduleEvaluation,
+    batch_makespans,
+    evaluate,
+    expected_makespan,
+)
+from repro.schedule.gantt import render_gantt
+from repro.schedule.schedule import Schedule
+from repro.schedule.validation import (
+    ValidationReport,
+    schedule_from_proc_map,
+    validate_orders,
+)
+
+__all__ = [
+    "Schedule",
+    "ScheduleEvaluation",
+    "evaluate",
+    "expected_makespan",
+    "batch_makespans",
+    "render_gantt",
+    "ValidationReport",
+    "validate_orders",
+    "schedule_from_proc_map",
+]

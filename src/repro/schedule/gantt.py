@@ -1,0 +1,76 @@
+"""ASCII Gantt-chart rendering of schedules.
+
+Terminal-friendly visualization: one row per processor, one bar per task,
+time scaled to a fixed width.  Useful for examples, debugging schedules,
+and eyeballing where slack lives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schedule.evaluation import evaluate
+from repro.schedule.schedule import Schedule
+
+__all__ = ["render_gantt"]
+
+
+def render_gantt(
+    schedule: Schedule,
+    durations: np.ndarray | None = None,
+    *,
+    width: int = 72,
+    labels: dict[int, str] | None = None,
+) -> str:
+    """Render *schedule* as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    schedule:
+        The schedule to draw.
+    durations:
+        Optional realized durations (defaults to expected durations).
+    width:
+        Character width of the time axis.
+    labels:
+        Optional task-id -> short-label map; labels are truncated to their
+        bar's width (falling back to no label on slivers).
+
+    Returns
+    -------
+    str
+        Multi-line chart, one row per processor plus a time axis.
+    """
+    if width < 10:
+        raise ValueError(f"width must be at least 10, got {width}")
+    ev = evaluate(schedule, durations)
+    makespan = ev.makespan
+    if makespan <= 0:
+        makespan = 1.0
+    scale = width / makespan
+    labels = labels or {}
+
+    lines: list[str] = []
+    for p, tasks in enumerate(schedule.proc_orders):
+        row = [" "] * width
+        for v in tasks:
+            v = int(v)
+            lo = int(round(ev.start_times[v] * scale))
+            hi = int(round(ev.finish_times[v] * scale))
+            hi = max(hi, lo + 1)  # every task is at least one cell wide
+            hi = min(hi, width)
+            lo = min(lo, width - 1)
+            span = hi - lo
+            text = labels.get(v, str(v))
+            if span >= len(text) + 2:
+                bar = "[" + text.center(span - 2, "=") + "]"
+            elif span >= 3:
+                bar = "[" + "=" * (span - 2) + "]"
+            else:
+                bar = "#" * span
+            row[lo:hi] = list(bar)
+        lines.append(f"P{p:<2d}|{''.join(row)}|")
+
+    axis = f"   0{' ' * (width - len(f'{makespan:.6g}') - 1)}{makespan:.6g}"
+    lines.append(axis)
+    return "\n".join(lines)

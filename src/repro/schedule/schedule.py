@@ -1,0 +1,233 @@
+"""Schedule representation and disjunctive-graph construction.
+
+A schedule ``s = {s_1, ..., s_m}`` gives, for every processor, the ordered
+list of tasks assigned to it (paper Sec. 3.1).  Construction immediately
+builds the *disjunctive graph* ``G_s`` (Def. 3.1): the task-graph edges plus
+zero-data chain edges between consecutive tasks on the same processor, with
+communication on same-processor edges zeroed (Eqn. 1).  A schedule whose
+disjunctive graph is cyclic (processor orders contradicting precedence) is
+rejected at construction.
+
+Because task durations do not change ``G_s``'s *structure*, the expensive
+parts — CSR indexes and a topological order — are computed once here and
+reused by every evaluation, including the batched Monte-Carlo passes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.analysis import ArrayDag
+
+__all__ = ["Schedule"]
+
+
+class Schedule:
+    """An assignment of all tasks to processors with per-processor orders.
+
+    Parameters
+    ----------
+    problem:
+        The scheduling problem this schedule solves.
+    proc_orders:
+        One sequence of task ids per processor (``m`` sequences); together
+        they must form a partition of ``0..n-1``.  Empty processors are
+        allowed (the paper's Fig. 1 example has one).
+
+    Raises
+    ------
+    ValueError
+        If the orders are not a partition of the tasks, or the induced
+        disjunctive graph is cyclic (the processor orders are incompatible
+        with the precedence constraints).
+
+    Notes
+    -----
+    Exposed derived data:
+
+    ``proc_of``
+        ``(n,)`` processor index of every task.
+    ``rank_on_proc``
+        ``(n,)`` position of every task within its processor's order.
+    ``disjunctive``
+        The :class:`~repro.graph.analysis.ArrayDag` of ``G_s``.
+    ``comm_weights``
+        Per-disjunctive-edge communication time (expected == realized: the
+        paper holds transfer rates deterministic).
+    """
+
+    __slots__ = (
+        "problem",
+        "proc_orders",
+        "proc_of",
+        "rank_on_proc",
+        "disjunctive",
+        "comm_weights",
+        "_expected_eval",
+    )
+
+    def __init__(
+        self, problem: SchedulingProblem, proc_orders: Sequence[Iterable[int]]
+    ) -> None:
+        self.problem = problem
+        n, m = problem.n, problem.m
+        if len(proc_orders) != m:
+            raise ValueError(
+                f"expected {m} processor orders, got {len(proc_orders)}"
+            )
+        orders = [np.asarray(list(o), dtype=np.int64) for o in proc_orders]
+
+        proc_of = np.full(n, -1, dtype=np.int64)
+        rank = np.zeros(n, dtype=np.int64)
+        for p, tasks in enumerate(orders):
+            for k, v in enumerate(tasks):
+                v = int(v)
+                if not (0 <= v < n):
+                    raise ValueError(f"task id {v} out of range on processor {p}")
+                if proc_of[v] != -1:
+                    raise ValueError(f"task {v} assigned to more than one slot")
+                proc_of[v] = p
+                rank[v] = k
+        if np.any(proc_of < 0):
+            missing = np.flatnonzero(proc_of < 0)
+            raise ValueError(f"tasks not assigned to any processor: {missing.tolist()}")
+
+        self.proc_orders = tuple(orders)
+        self.proc_of = proc_of
+        self.rank_on_proc = rank
+
+        graph = problem.graph
+        platform = problem.platform
+
+        # Disjunctive edge list: original DAG edges first (comm time per
+        # Eqn. 1: zero when both endpoints share a processor), then chain
+        # edges between consecutive same-processor tasks not already in E.
+        src_parts = [graph.edge_src]
+        dst_parts = [graph.edge_dst]
+        w_dag = platform.comm_times(
+            graph.edge_data, proc_of[graph.edge_src], proc_of[graph.edge_dst]
+        )
+        w_parts = [w_dag]
+
+        dag_edge_set = set(zip(graph.edge_src.tolist(), graph.edge_dst.tolist()))
+        chain_src: list[int] = []
+        chain_dst: list[int] = []
+        for tasks in orders:
+            for a, b in zip(tasks[:-1], tasks[1:]):
+                a, b = int(a), int(b)
+                if (a, b) not in dag_edge_set:
+                    chain_src.append(a)
+                    chain_dst.append(b)
+        if chain_src:
+            src_parts.append(np.asarray(chain_src, dtype=np.int64))
+            dst_parts.append(np.asarray(chain_dst, dtype=np.int64))
+            w_parts.append(np.zeros(len(chain_src), dtype=np.float64))
+
+        dis_src = np.concatenate(src_parts)
+        dis_dst = np.concatenate(dst_parts)
+        try:
+            self.disjunctive = ArrayDag.build(n, dis_src, dis_dst)
+        except ValueError as exc:
+            raise ValueError(
+                "invalid schedule: processor orders contradict the task-graph "
+                "precedence constraints (disjunctive graph is cyclic)"
+            ) from exc
+        self.comm_weights = np.concatenate(w_parts)
+        self.comm_weights.setflags(write=False)
+        self.proc_of.setflags(write=False)
+        self.rank_on_proc.setflags(write=False)
+        self._expected_eval = None  # lazily filled by evaluation.evaluate
+
+    # ------------------------------------------------------------------ #
+    # Alternative constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_assignment(
+        cls,
+        problem: SchedulingProblem,
+        order: np.ndarray,
+        proc_of: np.ndarray,
+    ) -> "Schedule":
+        """Build from a global task order plus a processor map.
+
+        This is the GA decode (Sec. 4.2.1): the *scheduling string* ``order``
+        (a topological sort of the task graph) is filtered per processor to
+        produce the assignment strings, so each processor executes its tasks
+        in scheduling-string order.
+        """
+        order = np.asarray(order, dtype=np.int64)
+        proc_of = np.asarray(proc_of, dtype=np.int64)
+        n, m = problem.n, problem.m
+        if order.shape != (n,):
+            raise ValueError(f"order must be a permutation of {n} tasks")
+        if proc_of.shape != (n,):
+            raise ValueError(f"proc_of must have shape ({n},), got {proc_of.shape}")
+        if np.any((proc_of < 0) | (proc_of >= m)):
+            raise ValueError("processor index out of range in proc_of")
+        assigned = proc_of[order]
+        orders = [order[assigned == p] for p in range(m)]
+        return cls(problem, orders)
+
+    # ------------------------------------------------------------------ #
+    # Duration helpers
+    # ------------------------------------------------------------------ #
+
+    def expected_durations(self) -> np.ndarray:
+        """Expected duration of each task on its assigned processor."""
+        return self.problem.uncertainty.expected_durations(self.proc_of)
+
+    def realize_durations(
+        self, n_realizations: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Sample ``(n_realizations, n)`` actual durations for this schedule."""
+        return self.problem.uncertainty.realize_durations(
+            self.proc_of, n_realizations, rng
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return self.problem.n
+
+    @property
+    def m(self) -> int:
+        """Number of processors."""
+        return self.problem.m
+
+    def linear_order(self) -> np.ndarray:
+        """A global task order consistent with ``G_s`` (its topo order)."""
+        return self.disjunctive.topo
+
+    def as_pairs(self) -> list[list[tuple[int, int]]]:
+        """The paper's notation: per-processor consecutive-task pairs.
+
+        The schedule of Fig. 1(c) renders as
+        ``[[(0, 1), (1, 3)], [(2, 4), (4, 7)], [(5, 6)], []]`` (0-based).
+        """
+        return [
+            [(int(a), int(b)) for a, b in zip(tasks[:-1], tasks[1:])]
+            for tasks in self.proc_orders
+        ]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schedule):
+            return NotImplemented
+        return self.problem is other.problem and all(
+            np.array_equal(a, b)
+            for a, b in zip(self.proc_orders, other.proc_orders)
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.problem), tuple(t.tobytes() for t in self.proc_orders)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sizes = [len(t) for t in self.proc_orders]
+        return f"Schedule(n={self.n}, m={self.m}, tasks_per_proc={sizes})"

@@ -1,0 +1,150 @@
+"""Schedule validation diagnostics and repair.
+
+:class:`~repro.schedule.schedule.Schedule` rejects invalid inputs with an
+exception; this module provides the *diagnostic* counterpart for
+user-supplied schedules — a structured report of everything wrong — plus
+a repair helper that turns a bare processor assignment into valid
+per-processor orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.schedule.schedule import Schedule
+
+__all__ = ["ValidationReport", "validate_orders", "schedule_from_proc_map"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Everything wrong with a proposed set of processor orders.
+
+    Attributes
+    ----------
+    missing_tasks:
+        Tasks assigned to no processor.
+    duplicated_tasks:
+        Tasks assigned more than once.
+    out_of_range_tasks:
+        Ids outside ``0..n-1``.
+    wrong_processor_count:
+        ``(expected, got)`` when the number of order lists is off, else None.
+    precedence_conflicts:
+        Same-processor pairs ``(later, earlier)`` where *later* is ordered
+        before its (possibly transitive) predecessor *earlier* — each one a
+        certain cycle in the disjunctive graph.
+    """
+
+    missing_tasks: tuple[int, ...] = ()
+    duplicated_tasks: tuple[int, ...] = ()
+    out_of_range_tasks: tuple[int, ...] = ()
+    wrong_processor_count: tuple[int, int] | None = None
+    precedence_conflicts: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """Whether the orders form a valid schedule."""
+        return (
+            not self.missing_tasks
+            and not self.duplicated_tasks
+            and not self.out_of_range_tasks
+            and self.wrong_processor_count is None
+            and not self.precedence_conflicts
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.ok:
+            return "valid schedule"
+        parts = []
+        if self.wrong_processor_count:
+            exp, got = self.wrong_processor_count
+            parts.append(f"expected {exp} processor orders, got {got}")
+        if self.out_of_range_tasks:
+            parts.append(f"out-of-range tasks: {list(self.out_of_range_tasks)}")
+        if self.duplicated_tasks:
+            parts.append(f"duplicated tasks: {list(self.duplicated_tasks)}")
+        if self.missing_tasks:
+            parts.append(f"missing tasks: {list(self.missing_tasks)}")
+        if self.precedence_conflicts:
+            parts.append(
+                "precedence conflicts (task ordered before an ancestor on the "
+                f"same processor): {list(self.precedence_conflicts)}"
+            )
+        return "; ".join(parts)
+
+
+def validate_orders(
+    problem: SchedulingProblem, proc_orders: Sequence[Iterable[int]]
+) -> ValidationReport:
+    """Diagnose a proposed set of per-processor task orders.
+
+    Unlike :class:`Schedule` construction (which raises on the first
+    problem), this gathers *all* problems into one report.
+    """
+    n, m = problem.n, problem.m
+    orders = [list(int(v) for v in o) for o in proc_orders]
+
+    wrong_count = (m, len(orders)) if len(orders) != m else None
+
+    seen: dict[int, int] = {}
+    out_of_range: list[int] = []
+    duplicated: list[int] = []
+    for tasks in orders:
+        for v in tasks:
+            if not (0 <= v < n):
+                out_of_range.append(v)
+                continue
+            seen[v] = seen.get(v, 0) + 1
+            if seen[v] == 2:
+                duplicated.append(v)
+    missing = [v for v in range(n) if v not in seen]
+
+    # Precedence conflicts: on each processor, a task ordered before one of
+    # its ancestors. Uses the transitive closure so indirect conflicts
+    # (cross-processor cycles threading back) surface too.
+    from repro.graph.topology import ancestors_mask
+
+    conflicts: list[tuple[int, int]] = []
+    anc_cache: dict[int, np.ndarray] = {}
+    for tasks in orders:
+        valid = [v for v in tasks if 0 <= v < n]
+        for i, later in enumerate(valid):
+            if later not in anc_cache:
+                anc_cache[later] = ancestors_mask(problem.graph, later)
+            mask = anc_cache[later]
+            for earlier in valid[i + 1 :]:
+                if 0 <= earlier < n and mask[earlier]:
+                    conflicts.append((later, earlier))
+
+    return ValidationReport(
+        missing_tasks=tuple(missing),
+        duplicated_tasks=tuple(sorted(set(duplicated))),
+        out_of_range_tasks=tuple(out_of_range),
+        wrong_processor_count=wrong_count,
+        precedence_conflicts=tuple(conflicts),
+    )
+
+
+def schedule_from_proc_map(
+    problem: SchedulingProblem, proc_of: np.ndarray
+) -> Schedule:
+    """Build a valid schedule from a bare task→processor map.
+
+    Per-processor execution orders follow the graph's canonical
+    topological order, which is always consistent — useful for turning the
+    output of assignment-only algorithms (load balancers, partitioners)
+    into full schedules.
+    """
+    proc_of = np.asarray(proc_of, dtype=np.int64)
+    if proc_of.shape != (problem.n,):
+        raise ValueError(
+            f"proc_of must have shape ({problem.n},), got {proc_of.shape}"
+        )
+    if np.any((proc_of < 0) | (proc_of >= problem.m)):
+        raise ValueError("processor index out of range in proc_of")
+    return Schedule.from_assignment(problem, problem.graph.topological, proc_of)

@@ -1,0 +1,73 @@
+"""Deterministic random-number management.
+
+Every stochastic component in :mod:`repro` accepts either a seed-like value
+or a ready-made :class:`numpy.random.Generator`.  Experiment drivers spawn
+independent child generators through :class:`numpy.random.SeedSequence` so
+that (a) whole experiments are reproducible from a single seed and (b) the
+per-instance streams are statistically independent, which keeps results
+stable when instances are later evaluated in parallel or out of order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators", "spawn_seeds"]
+
+SeedLike = "int | Sequence[int] | np.random.SeedSequence | np.random.Generator | None"
+
+
+def as_generator(
+    seed: int | Sequence[int] | np.random.SeedSequence | np.random.Generator | None,
+) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh OS entropy), an integer / sequence of integers,
+        a :class:`~numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged so callers can share a stream).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_seeds(
+    seed: int | Sequence[int] | np.random.SeedSequence | None, n: int
+) -> list[np.random.SeedSequence]:
+    """Spawn *n* independent child :class:`~numpy.random.SeedSequence` objects.
+
+    Parameters
+    ----------
+    seed:
+        Root entropy.  Passing the same value always yields the same children.
+    n:
+        Number of children; must be non-negative.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of seeds: {n}")
+    root = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return root.spawn(n)
+
+
+def spawn_generators(
+    seed: int | Sequence[int] | np.random.SeedSequence | np.random.Generator | None,
+    n: int,
+) -> list[np.random.Generator]:
+    """Spawn *n* independent generators rooted at *seed*.
+
+    If *seed* is already a :class:`~numpy.random.Generator` the children are
+    spawned from it via :meth:`numpy.random.Generator.spawn`, which keeps the
+    parent usable afterwards.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed.spawn(n)
+    return [np.random.default_rng(s) for s in spawn_seeds(seed, n)]

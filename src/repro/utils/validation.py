@@ -1,0 +1,76 @@
+"""Argument-checking helpers shared across the library.
+
+These raise early with precise messages so that user errors surface at
+construction time rather than deep inside a GA run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_positive", "check_probability", "check_matrix", "check_square"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that *value* is positive (``> 0``; ``>= 0`` if not strict)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_matrix(
+    name: str,
+    matrix: np.ndarray,
+    shape: tuple[int, int] | None = None,
+    *,
+    nonnegative: bool = False,
+    positive: bool = False,
+) -> np.ndarray:
+    """Validate and canonicalise a 2-D float matrix.
+
+    Parameters
+    ----------
+    name:
+        Parameter name used in error messages.
+    matrix:
+        Array-like input, converted to a C-contiguous ``float64`` array.
+    shape:
+        Required shape, if any.
+    nonnegative, positive:
+        Optional element-wise sign constraints.
+    """
+    out = np.ascontiguousarray(matrix, dtype=np.float64)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got ndim={out.ndim}")
+    if shape is not None and out.shape != shape:
+        raise ValueError(f"{name} must have shape {shape}, got {out.shape}")
+    if not np.all(np.isfinite(out)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if positive and not np.all(out > 0):
+        raise ValueError(f"{name} must be strictly positive")
+    if nonnegative and not np.all(out >= 0):
+        raise ValueError(f"{name} must be non-negative")
+    return out
+
+
+def check_square(name: str, matrix: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Validate a square matrix (optionally of size *n*)."""
+    out = check_matrix(name, matrix)
+    if out.shape[0] != out.shape[1]:
+        raise ValueError(f"{name} must be square, got {out.shape}")
+    if n is not None and out.shape[0] != n:
+        raise ValueError(f"{name} must be {n}x{n}, got {out.shape}")
+    return out

@@ -1,0 +1,43 @@
+"""Integration: the ``python -m repro`` entry point works end-to-end."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def _run(args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestModuleEntryPoint:
+    def test_solve(self):
+        proc = _run(["solve", "--tasks", "10", "--seed", "1", "--realizations", "50"])
+        assert proc.returncode == 0, proc.stderr
+        assert "robust GA" in proc.stdout
+
+    def test_fig4_smoke(self):
+        proc = _run(["fig4", "--scale", "smoke", "--uls", "2", "--quiet"])
+        assert proc.returncode == 0, proc.stderr
+        assert "Fig. 4" in proc.stdout
+
+    def test_help(self):
+        proc = _run(["--help"])
+        assert proc.returncode == 0
+        for command in ("fig2", "fig8", "solve", "zoo", "sensitivity"):
+            assert command in proc.stdout
+
+    def test_unknown_command_fails(self):
+        proc = _run(["fig9"])
+        assert proc.returncode != 0
+
+    def test_progress_goes_to_stderr(self):
+        proc = _run(["fig4", "--scale", "smoke", "--uls", "2"])
+        assert proc.returncode == 0
+        assert "instance" in proc.stderr  # progress lines
+        assert "instance" not in proc.stdout  # table only

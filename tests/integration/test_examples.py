@@ -1,0 +1,30 @@
+"""Integration tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr}"
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_exist():
+    scripts = list(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py").exists()

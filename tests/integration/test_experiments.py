@@ -1,0 +1,199 @@
+"""Integration tests for the experiment drivers (smoke scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_best_eps,
+    run_eps_grid,
+    run_eps_one,
+    run_eps_sweep,
+    run_slack_effect,
+)
+from repro.experiments.config import SCALES
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(scale=SCALES["smoke"], seed=5)
+
+
+@pytest.fixture(scope="module")
+def shared_grid(cfg):
+    """One small grid shared by the sweep and best-eps tests."""
+    return run_eps_grid(cfg, uls=(2.0, 6.0), epsilons=(1.0, 1.5, 2.0))
+
+
+class TestEpsGrid:
+    def test_structure(self, cfg, shared_grid):
+        assert set(shared_grid.cells) == {
+            (2.0, 1.0),
+            (2.0, 1.5),
+            (2.0, 2.0),
+            (6.0, 1.0),
+            (6.0, 1.5),
+            (6.0, 2.0),
+        }
+        for outcomes in shared_grid.cells.values():
+            assert len(outcomes) == cfg.scale.n_graphs
+
+    def test_heft_reused_across_eps(self, shared_grid):
+        a = shared_grid.outcomes(2.0, 1.0)[0].heft
+        b = shared_grid.outcomes(2.0, 2.0)[0].heft
+        assert a is b
+
+    def test_constraints_hold_per_cell(self, shared_grid):
+        for (ul, eps), outcomes in shared_grid.cells.items():
+            for o in outcomes:
+                assert o.ga.expected_makespan <= eps * o.heft.expected_makespan * (
+                    1 + 1e-9
+                )
+
+    def test_progress_callback(self, cfg):
+        messages = []
+        run_eps_grid(cfg, uls=(2.0,), epsilons=(1.0,), progress=messages.append)
+        assert len(messages) == cfg.scale.n_graphs
+
+
+class TestSlackEffect:
+    @pytest.mark.parametrize("objective", ["makespan", "slack"])
+    def test_shapes_and_table(self, cfg, objective):
+        result = run_slack_effect(cfg, objective, uls=(2.0,), n_steps=4)
+        assert len(result.series) == 1
+        s = result.series[0]
+        assert s.steps[0] == 0
+        # Log ratios are zero at step 0 by construction.
+        assert s.makespan[0] == 0.0
+        assert s.slack[0] == 0.0
+        table = result.to_table()
+        assert "UL=2" in table
+
+    def test_slack_objective_grows_slack_and_makespan(self, cfg):
+        result = run_slack_effect(cfg, "slack", uls=(2.0,), n_steps=4)
+        _, slack_lr, _ = result.final(2.0)
+        m_lr = result.series[0].makespan[-1]
+        assert slack_lr > 0.0  # slack increased vs step 0
+        assert m_lr > 0.0  # and makespan rose with it (Fig. 3)
+
+    def test_makespan_objective_shrinks_makespan(self, cfg):
+        result = run_slack_effect(cfg, "makespan", uls=(2.0,), n_steps=4)
+        m_lr, slack_lr, _ = result.final(2.0)
+        assert m_lr < 0.0  # realized makespan fell vs step 0 (Fig. 2)
+        assert slack_lr < 0.0  # slack fell with it
+
+    def test_rejects_unknown_objective(self, cfg):
+        with pytest.raises(ValueError, match="objective"):
+            run_slack_effect(cfg, "fitness")
+
+    def test_final_unknown_ul_raises(self, cfg):
+        result = run_slack_effect(cfg, "slack", uls=(2.0,), n_steps=3)
+        with pytest.raises(KeyError):
+            result.final(9.0)
+
+
+class TestEpsOne:
+    def test_output_structure(self, cfg):
+        result = run_eps_one(cfg, uls=(2.0,))
+        assert result.uls == (2.0,)
+        assert result.makespan.shape == (1,)
+        assert "Fig. 4" in result.to_table()
+
+    def test_makespan_never_worse_than_heft(self, cfg):
+        # eps = 1.0 + HEFT seeding: expected makespan can't exceed HEFT's,
+        # so the *expected*-makespan improvement is >= 0 per instance; the
+        # realized-mean improvement may wobble but not collapse.
+        result = run_eps_one(cfg, uls=(2.0,))
+        assert result.makespan[0] > -0.05
+
+
+class TestEpsSweepAndBestEps:
+    def test_sweep_reuses_grid(self, cfg, shared_grid):
+        result = run_eps_sweep(
+            cfg, uls=(2.0, 6.0), epsilons=(1.0, 1.5, 2.0), grid=shared_grid
+        )
+        assert result.epsilons == (1.5, 2.0)
+        assert set(result.r1_improvement) == {2.0, 6.0}
+        assert "Fig. 5" in result.to_table("r1")
+        assert "Fig. 6" in result.to_table("r2")
+        with pytest.raises(ValueError):
+            result.to_table("r3")
+
+    def test_relaxing_eps_improves_r1(self, cfg, shared_grid):
+        result = run_eps_sweep(
+            cfg, uls=(2.0, 6.0), epsilons=(1.0, 1.5, 2.0), grid=shared_grid
+        )
+        # At some UL the eps=2.0 run must beat the eps=1.0 run on R1.
+        best = max(result.r1_improvement[ul][-1] for ul in (2.0, 6.0))
+        assert best > 0.0
+
+    def test_best_eps_structure(self, cfg, shared_grid):
+        result = run_best_eps(
+            cfg,
+            uls=(2.0, 6.0),
+            epsilons=(1.0, 1.5, 2.0),
+            r_grid=(0.0, 0.5, 1.0),
+            grid=shared_grid,
+        )
+        for ul in (2.0, 6.0):
+            assert result.best_eps_r1[ul].shape == (3,)
+            assert set(result.best_eps_r1[ul]).issubset({1.0, 1.5, 2.0})
+        assert "Fig. 7" in result.to_table("r1")
+        assert "Fig. 8" in result.to_table("r2")
+
+    def test_r_equal_one_prefers_small_eps(self, cfg, shared_grid):
+        """With full makespan emphasis the best eps must be the smallest:
+        larger budgets only ever lengthen schedules."""
+        result = run_best_eps(
+            cfg,
+            uls=(2.0, 6.0),
+            epsilons=(1.0, 1.5, 2.0),
+            r_grid=(0.0, 1.0),
+            grid=shared_grid,
+        )
+        for ul in (2.0, 6.0):
+            assert result.best_eps_r1[ul][-1] == 1.0  # r = 1.0
+            assert result.best_eps_r2[ul][-1] == 1.0
+
+    def test_best_eps_decreasing_in_r(self, cfg, shared_grid):
+        result = run_best_eps(
+            cfg,
+            uls=(2.0, 6.0),
+            epsilons=(1.0, 1.5, 2.0),
+            r_grid=(0.0, 0.5, 1.0),
+            grid=shared_grid,
+        )
+        # Fig. 7 trend: eps(r=0) >= eps(r=1).
+        for ul in (2.0, 6.0):
+            assert result.best_eps_r1[ul][0] >= result.best_eps_r1[ul][-1]
+
+
+class TestCliIntegration:
+    def test_fig4_smoke(self):
+        from repro.cli import run
+
+        out = run(["fig4", "--scale", "smoke", "--uls", "2", "--quiet"])
+        assert "Fig. 4" in out
+        assert "R1" in out
+
+
+class TestZooDriver:
+    def test_zoo_metrics_complete(self, cfg):
+        from repro.experiments.zoo import run_zoo
+
+        result = run_zoo(cfg, 2.0, include_dynamic=False)
+        assert result.n_instances == cfg.scale.n_graphs
+        assert "online-mct" not in result.metrics
+        for vals in result.metrics.values():
+            assert vals["m0"] > 0
+            assert 0.0 <= vals["miss_rate"] <= 1.0
+        assert "Scheduler zoo" in result.to_table()
+
+    def test_zoo_robust_ga_bounded_by_heft(self, cfg):
+        from repro.experiments.zoo import run_zoo
+
+        result = run_zoo(cfg, 2.0, include_dynamic=False)
+        assert (
+            result.metrics["robust-ga"]["m0"]
+            <= result.metrics["heft"]["m0"] * (1 + 1e-9)
+        )

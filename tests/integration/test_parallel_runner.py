@@ -1,0 +1,55 @@
+"""Integration tests: parallel grid execution is bit-identical to serial."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run_eps_grid
+from repro.experiments.config import SCALES
+from repro.experiments.workloads import make_problem, make_problems
+
+
+class TestMakeProblem:
+    def test_single_matches_pool(self):
+        cfg = ExperimentConfig(scale=SCALES["smoke"], seed=3)
+        pool = make_problems(cfg, 4.0)
+        for i in range(cfg.scale.n_graphs):
+            single = make_problem(cfg, 4.0, i)
+            assert single.graph == pool[i].graph
+            assert np.array_equal(single.uncertainty.ul, pool[i].uncertainty.ul)
+
+    def test_rejects_out_of_range_index(self):
+        cfg = ExperimentConfig(scale=SCALES["smoke"], seed=3)
+        with pytest.raises(ValueError, match="index"):
+            make_problem(cfg, 2.0, cfg.scale.n_graphs)
+        with pytest.raises(ValueError, match="index"):
+            make_problem(cfg, 2.0, -1)
+
+
+class TestParallelGrid:
+    def test_parallel_equals_serial(self):
+        cfg = ExperimentConfig(scale=SCALES["smoke"], seed=11)
+        serial = run_eps_grid(cfg, (2.0,), (1.0, 1.5))
+        parallel = run_eps_grid(cfg, (2.0,), (1.0, 1.5), n_jobs=2)
+        for key in serial.cells:
+            for a, b in zip(serial.cells[key], parallel.cells[key]):
+                assert a.instance == b.instance
+                assert a.ga.expected_makespan == b.ga.expected_makespan
+                assert a.ga.avg_slack == b.ga.avg_slack
+                assert np.array_equal(
+                    a.ga.realized_makespans, b.ga.realized_makespans
+                )
+                assert np.array_equal(
+                    a.heft.realized_makespans, b.heft.realized_makespans
+                )
+
+    def test_rejects_bad_n_jobs(self):
+        cfg = ExperimentConfig(scale=SCALES["smoke"], seed=11)
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_eps_grid(cfg, (2.0,), (1.0,), n_jobs=0)
+
+    def test_instances_sorted_per_cell(self):
+        cfg = ExperimentConfig(scale=SCALES["smoke"], seed=12)
+        grid = run_eps_grid(cfg, (2.0,), (1.0,), n_jobs=3)
+        for outcomes in grid.cells.values():
+            ids = [o.instance for o in outcomes]
+            assert ids == sorted(ids)

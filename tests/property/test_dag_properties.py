@@ -1,0 +1,93 @@
+"""Property tests for the graph layer: topology invariants and generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.analysis import ArrayDag, critical_path, dag_levels
+from repro.graph.generator import DagParams, random_dag
+from repro.graph.topology import (
+    ancestors_mask,
+    descendants_mask,
+    is_topological_order,
+    random_topological_order,
+)
+from tests.property.strategies import task_graphs
+
+
+@settings(max_examples=120, deadline=None)
+@given(graph=task_graphs(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_random_topological_order_always_valid(graph, seed):
+    order = random_topological_order(graph, seed)
+    assert is_topological_order(graph, order)
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=task_graphs(max_n=10))
+def test_ancestor_descendant_duality(graph):
+    for v in range(graph.n):
+        desc = descendants_mask(graph, v)
+        for w in np.flatnonzero(desc):
+            assert ancestors_mask(graph, int(w))[v]
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=task_graphs(max_n=10))
+def test_levels_increase_along_edges(graph):
+    levels = dag_levels(graph)
+    for u, v, _ in graph.edges():
+        assert levels[v] >= levels[u] + 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=task_graphs(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_critical_path_achieves_makespan(graph, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.5, 10.0, graph.n)
+    c = rng.uniform(0.0, 5.0, graph.num_edges)
+    dag = ArrayDag.from_taskgraph(graph)
+    path = dag.critical_path(w, c)
+    # Sum node + edge weights along the returned path.
+    total = sum(w[v] for v in path)
+    lookup = {
+        (int(u), int(v)): c[i]
+        for i, (u, v) in enumerate(zip(graph.edge_src, graph.edge_dst))
+    }
+    for a, b in zip(path[:-1], path[1:]):
+        total += lookup[(a, b)]
+    assert np.isclose(total, dag.makespan(w, c))
+
+
+@settings(max_examples=100, deadline=None)
+@given(graph=task_graphs(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_top_bottom_levels_duality(graph, seed):
+    """Tl on G equals Bl on the reversed graph minus the node weight."""
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.5, 10.0, graph.n)
+    c = rng.uniform(0.0, 5.0, graph.num_edges)
+    dag = ArrayDag.from_taskgraph(graph)
+    rev = ArrayDag.build(graph.n, graph.edge_dst, graph.edge_src)
+    tl = dag.top_levels(w, c)
+    bl_rev = rev.bottom_levels(w, c)
+    assert np.allclose(tl, bl_rev - w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 60),
+    alpha=st.floats(0.4, 2.5),
+    ccr=st.floats(0.0, 2.0),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_generator_structural_invariants(n, alpha, ccr, seed):
+    graph = random_dag(DagParams(n=n, alpha=alpha, ccr=ccr), seed)
+    assert graph.n == n
+    # Edges always point from lower to higher id (layered construction).
+    if graph.num_edges:
+        assert np.all(graph.edge_src < graph.edge_dst)
+        assert np.all(graph.edge_data >= 0.0)
+    # The canonical topological order must be valid (implies acyclicity).
+    assert is_topological_order(graph, graph.topological)
+    # Level structure is contiguous from 0.
+    levels = dag_levels(graph)
+    assert set(levels.tolist()) == set(range(int(levels.max()) + 1))

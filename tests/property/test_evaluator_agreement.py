@@ -1,0 +1,96 @@
+"""Property tests: the two independent execution-semantics implementations
+(array critical-path evaluator vs. event-driven simulator) always agree,
+and batched Monte-Carlo evaluation matches per-realization evaluation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.evaluation import batch_makespans, evaluate
+from repro.sim.eventsim import simulate
+from tests.property.strategies import scheduled_problems
+
+
+@settings(max_examples=120, deadline=None)
+@given(ps=scheduled_problems(max_n=10))
+def test_simulator_matches_evaluator_expected(ps):
+    _, schedule = ps
+    ev = evaluate(schedule)
+    sim = simulate(schedule)
+    assert np.isclose(sim.makespan, ev.makespan)
+    assert np.allclose(sim.start_times, ev.start_times)
+    assert np.allclose(sim.finish_times, ev.finish_times)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ps=scheduled_problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_simulator_matches_evaluator_realized(ps, seed):
+    _, schedule = ps
+    durations = schedule.realize_durations(3, rng=seed)
+    for d in durations:
+        assert np.isclose(simulate(schedule, d).makespan, evaluate(schedule, d).makespan)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ps=scheduled_problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_batch_matches_sequential(ps, seed):
+    _, schedule = ps
+    durations = schedule.realize_durations(8, rng=seed)
+    batched = batch_makespans(schedule, durations)
+    singles = np.array([evaluate(schedule, d).makespan for d in durations])
+    assert np.allclose(batched, singles)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ps=scheduled_problems(max_n=10))
+def test_start_times_respect_all_constraints(ps):
+    """Every start time honours processor order and data arrivals."""
+    problem, schedule = ps
+    ev = evaluate(schedule)
+    graph = problem.graph
+    platform = problem.platform
+    tol = 1e-7 * max(ev.makespan, 1.0)
+
+    # Processor order: consecutive tasks do not overlap.
+    for tasks in schedule.proc_orders:
+        for a, b in zip(tasks[:-1], tasks[1:]):
+            assert ev.start_times[b] >= ev.finish_times[a] - tol
+
+    # Precedence + communication.
+    for u, v, d in graph.edges():
+        arrival = ev.finish_times[u] + platform.comm_time(
+            d, int(schedule.proc_of[u]), int(schedule.proc_of[v])
+        )
+        assert ev.start_times[v] >= arrival - tol
+
+
+@settings(max_examples=80, deadline=None)
+@given(ps=scheduled_problems(max_n=10))
+def test_start_times_are_tight(ps):
+    """As-soon-as-ready: each start equals one of its lower bounds (no idling)."""
+    problem, schedule = ps
+    ev = evaluate(schedule)
+    graph = problem.graph
+    platform = problem.platform
+    tol = 1e-7 * max(ev.makespan, 1.0)
+
+    prev_on_proc = {}
+    for tasks in schedule.proc_orders:
+        for a, b in zip(tasks[:-1], tasks[1:]):
+            prev_on_proc[int(b)] = int(a)
+
+    for v in range(problem.n):
+        bounds = [0.0]
+        if v in prev_on_proc:
+            bounds.append(float(ev.finish_times[prev_on_proc[v]]))
+        for e in graph.predecessor_edge_indices(v):
+            u = int(graph.edge_src[e])
+            bounds.append(
+                float(ev.finish_times[u])
+                + platform.comm_time(
+                    float(graph.edge_data[e]),
+                    int(schedule.proc_of[u]),
+                    int(schedule.proc_of[v]),
+                )
+            )
+        assert abs(ev.start_times[v] - max(bounds)) <= tol

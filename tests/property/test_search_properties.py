@@ -1,0 +1,96 @@
+"""Property tests for the search layer: GA, annealing, uncertainty families.
+
+Slower-running hypothesis suites with tight example budgets — these check
+that the *search machinery* (not just the operators) maintains invariants
+on arbitrary problems.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.engine import GAParams, GeneticScheduler
+from repro.ga.fitness import EpsilonConstraintFitness, SlackFitness
+from repro.heuristics.annealing import AnnealingParams, AnnealingScheduler
+from repro.heuristics.heft import HeftScheduler
+from repro.schedule.evaluation import evaluate, expected_makespan
+from tests.property.strategies import problems
+
+
+@settings(max_examples=20, deadline=None)
+@given(problem=problems(min_n=2, max_n=8), seed=st.integers(0, 2**31 - 1))
+def test_ga_best_is_always_valid_and_monotone(problem, seed):
+    engine = GeneticScheduler(
+        SlackFitness(),
+        GAParams(population_size=6, max_iterations=8, stagnation_limit=8),
+        rng=seed,
+    )
+    result = engine.run(problem)
+    result.best.chromosome.validate(problem)
+    fitness = result.history.best_fitness
+    assert all(b >= a - 1e-12 for a, b in zip(fitness, fitness[1:]))
+    # The recorded metrics match a fresh evaluation of the best schedule.
+    ev = evaluate(result.best.chromosome.decode(problem))
+    assert np.isclose(ev.avg_slack, result.best.avg_slack)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    problem=problems(min_n=2, max_n=8),
+    seed=st.integers(0, 2**31 - 1),
+    epsilon=st.floats(1.0, 2.0),
+)
+def test_eps_constraint_ga_never_violates_budget(problem, seed, epsilon):
+    m_heft = expected_makespan(HeftScheduler().schedule(problem))
+    engine = GeneticScheduler(
+        EpsilonConstraintFitness(epsilon, m_heft),
+        GAParams(population_size=6, max_iterations=6, stagnation_limit=6),
+        rng=seed,
+    )
+    result = engine.run(problem)
+    # HEFT seeding guarantees a feasible incumbent exists, and elitism
+    # guarantees the final best is at least as fit, hence feasible.
+    assert result.best.makespan <= epsilon * m_heft * (1 + 1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(problem=problems(min_n=1, max_n=8), seed=st.integers(0, 2**31 - 1))
+def test_annealing_returns_valid_chromosome(problem, seed):
+    sa = AnnealingScheduler(
+        "makespan", params=AnnealingParams(iterations=30), rng=seed
+    )
+    best, energy = sa.run(problem)
+    best.validate(problem)
+    assert np.isclose(energy, evaluate(best.decode(problem)).makespan)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    problem=problems(min_n=1, max_n=8),
+    seed=st.integers(0, 2**31 - 1),
+    family=st.sampled_from(["uniform", "beta", "bimodal"]),
+)
+def test_duration_families_respect_support(problem, seed, family):
+    rng = np.random.default_rng(seed)
+    proc_of = rng.integers(problem.m, size=problem.n)
+    low, high = problem.uncertainty.duration_bounds(proc_of)
+    durs = problem.uncertainty.realize_durations(
+        proc_of, 50, rng=seed, family=family
+    )
+    assert np.all(durs >= low - 1e-9)
+    assert np.all(durs <= high + 1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 20), k=st.integers(1, 10))
+def test_hypervolume_monotone_under_point_addition(seed, n, k):
+    """Adding points can only grow (or keep) the dominated hypervolume."""
+    from repro.moop.pareto import hypervolume_2d
+
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.0, 1.0, size=(n, 2))
+    extra = rng.uniform(0.0, 1.0, size=(k, 2))
+    ref = np.array([2.0, 2.0])
+    hv_base = hypervolume_2d(base, ref)
+    hv_more = hypervolume_2d(np.vstack([base, extra]), ref)
+    assert hv_more >= hv_base - 1e-12

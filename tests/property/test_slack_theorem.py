@@ -1,0 +1,116 @@
+"""Property tests for the paper's Theorem 3.4 and Corollary 3.5.
+
+Theorem 3.4: delaying one task by at most its slack leaves the makespan
+unchanged.  Corollary 3.5: delaying several tasks, pairwise independent in
+the disjunctive graph, each by at most its own slack, does not increase
+the makespan.  These are the results that justify average slack as the
+robustness surrogate — the library's entire premise.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.schedule.evaluation import evaluate
+from tests.property.strategies import scheduled_problems
+
+
+@settings(max_examples=150, deadline=None)
+@given(ps=scheduled_problems(min_n=2, max_n=10), data=st.data())
+def test_theorem_3_4_delay_within_slack_keeps_makespan(ps, data):
+    problem, schedule = ps
+    ev = evaluate(schedule)
+    task = data.draw(st.integers(0, problem.n - 1))
+    frac = data.draw(st.floats(0.0, 1.0))
+    slack = float(ev.slacks[task])
+
+    durations = schedule.expected_durations().copy()
+    durations[task] += frac * slack
+    assert evaluate(schedule, durations).makespan <= ev.makespan + 1e-7 * max(
+        ev.makespan, 1.0
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(ps=scheduled_problems(min_n=2, max_n=10), data=st.data())
+def test_theorem_3_4_exceeding_slack_extends_makespan(ps, data):
+    """Delaying a task by slack + d lengthens a longest path through it by d,
+    so the new makespan is at least M + d."""
+    problem, schedule = ps
+    ev = evaluate(schedule)
+    task = data.draw(st.integers(0, problem.n - 1))
+    extra = data.draw(st.floats(0.1, 10.0))
+
+    durations = schedule.expected_durations().copy()
+    durations[task] += float(ev.slacks[task]) + extra
+    new_makespan = evaluate(schedule, durations).makespan
+    assert new_makespan >= ev.makespan + extra - 1e-7 * max(ev.makespan, 1.0)
+
+
+def _independent_in_disjunctive(schedule, tasks):
+    """Check pairwise independence (no path between any two) in G_s."""
+    dag = schedule.disjunctive
+    n = schedule.n
+    reach = np.zeros((n, n), dtype=bool)
+    for v in dag.topo[::-1]:
+        v = int(v)
+        for e in dag.succ_edges(v):
+            w = int(dag.edge_dst[e])
+            reach[v, w] = True
+            reach[v] |= reach[w]
+    for a in tasks:
+        for b in tasks:
+            if a != b and (reach[a, b] or reach[b, a]):
+                return False
+    return True
+
+
+@settings(max_examples=100, deadline=None)
+@given(ps=scheduled_problems(min_n=3, max_n=10), data=st.data())
+def test_corollary_3_5_independent_delays(ps, data):
+    problem, schedule = ps
+    ev = evaluate(schedule)
+    k = data.draw(st.integers(2, min(4, problem.n)))
+    tasks = data.draw(
+        st.lists(
+            st.integers(0, problem.n - 1), min_size=k, max_size=k, unique=True
+        )
+    )
+    if not _independent_in_disjunctive(schedule, tasks):
+        return  # precondition of the corollary not met; nothing to check
+
+    durations = schedule.expected_durations().copy()
+    for t in tasks:
+        frac = data.draw(st.floats(0.0, 1.0))
+        durations[t] += frac * float(ev.slacks[t])
+    assert evaluate(schedule, durations).makespan <= ev.makespan + 1e-7 * max(
+        ev.makespan, 1.0
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(ps=scheduled_problems(min_n=1, max_n=10))
+def test_slack_definition_consistency(ps):
+    """slack = M - Bl - Tl >= 0, exit-of-critical-path tasks have zero slack,
+    and some task is always critical."""
+    _, schedule = ps
+    ev = evaluate(schedule)
+    assert np.all(ev.slacks >= 0.0)
+    assert ev.critical_tasks.size >= 1
+    # Tl + Bl <= M for every task, equality exactly on critical tasks.
+    total = ev.top_levels + ev.bottom_levels
+    assert np.all(total <= ev.makespan + 1e-7 * max(ev.makespan, 1.0))
+
+
+@settings(max_examples=100, deadline=None)
+@given(ps=scheduled_problems(min_n=1, max_n=10))
+def test_makespan_monotone_in_durations(ps):
+    """Increasing any durations can never shrink the makespan."""
+    problem, schedule = ps
+    base = schedule.expected_durations()
+    rng = np.random.default_rng(0)
+    bumped = base + rng.uniform(0.0, 3.0, size=base.shape)
+    assert (
+        evaluate(schedule, bumped).makespan
+        >= evaluate(schedule, base).makespan - 1e-9
+    )

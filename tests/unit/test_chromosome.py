@@ -1,0 +1,92 @@
+"""Unit tests for GA chromosomes (encoding, decoding, seeding)."""
+
+import numpy as np
+import pytest
+
+from repro.ga.chromosome import Chromosome, heft_chromosome, random_chromosome
+from repro.graph.topology import is_topological_order
+from repro.heuristics.heft import HeftScheduler
+from repro.schedule.evaluation import evaluate
+
+
+class TestChromosome:
+    def test_construction(self):
+        c = Chromosome(order=np.array([0, 1, 2]), proc_of=np.array([0, 1, 0]))
+        assert c.n == 3
+        with pytest.raises(ValueError):
+            c.order[0] = 5  # immutable
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Chromosome(order=np.array([0, 1, 2]), proc_of=np.array([0, 1]))
+
+    def test_key_uniqueness(self):
+        a = Chromosome(np.array([0, 1]), np.array([0, 0]))
+        b = Chromosome(np.array([0, 1]), np.array([0, 0]))
+        c = Chromosome(np.array([0, 1]), np.array([0, 1]))
+        d = Chromosome(np.array([1, 0]), np.array([0, 0]))
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert a.key() != d.key()
+
+    def test_validate_accepts_legal(self, diamond_problem):
+        c = Chromosome(np.array([0, 2, 1, 3]), np.array([0, 1, 1, 0]))
+        c.validate(diamond_problem)
+
+    def test_validate_rejects_bad_order(self, diamond_problem):
+        c = Chromosome(np.array([1, 0, 2, 3]), np.array([0, 0, 0, 0]))
+        with pytest.raises(ValueError, match="topological"):
+            c.validate(diamond_problem)
+
+    def test_validate_rejects_bad_proc(self, diamond_problem):
+        c = Chromosome(np.array([0, 1, 2, 3]), np.array([0, 0, 0, 9]))
+        with pytest.raises(ValueError, match="out of range"):
+            c.validate(diamond_problem)
+
+    def test_validate_rejects_wrong_size(self, diamond_problem):
+        c = Chromosome(np.array([0, 1]), np.array([0, 0]))
+        with pytest.raises(ValueError, match="4"):
+            c.validate(diamond_problem)
+
+    def test_decode(self, diamond_problem):
+        c = Chromosome(np.array([0, 2, 1, 3]), np.array([0, 1, 1, 1]))
+        s = c.decode(diamond_problem)
+        assert s.proc_orders[0].tolist() == [0]
+        assert s.proc_orders[1].tolist() == [2, 1, 3]
+
+    def test_assignment_strings(self, diamond_problem):
+        c = Chromosome(np.array([0, 2, 1, 3]), np.array([0, 1, 1, 1]))
+        strings = c.assignment_strings(2)
+        assert strings[0].tolist() == [0]
+        assert strings[1].tolist() == [2, 1, 3]
+
+
+class TestRandomChromosome:
+    def test_valid(self, small_random_problem):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            c = random_chromosome(small_random_problem, rng)
+            c.validate(small_random_problem)
+
+    def test_decodes_to_valid_schedule(self, small_random_problem):
+        c = random_chromosome(small_random_problem, 7)
+        s = c.decode(small_random_problem)
+        assert evaluate(s).makespan > 0
+
+
+class TestHeftChromosome:
+    def test_roundtrip_preserves_schedule(self, small_random_problem):
+        heft = HeftScheduler().schedule(small_random_problem)
+        c = heft_chromosome(small_random_problem, heft)
+        decoded = c.decode(small_random_problem)
+        assert decoded == heft
+        assert evaluate(decoded).makespan == evaluate(heft).makespan
+
+    def test_order_is_topological(self, small_random_problem):
+        c = heft_chromosome(small_random_problem)
+        assert is_topological_order(small_random_problem.graph, c.order)
+
+    def test_computes_heft_if_not_given(self, small_random_problem):
+        c = heft_chromosome(small_random_problem)
+        heft = HeftScheduler().schedule(small_random_problem)
+        assert c.decode(small_random_problem) == heft

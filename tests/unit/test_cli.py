@@ -1,0 +1,56 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, run
+
+
+class TestParser:
+    def test_all_figures_registered(self):
+        parser = build_parser()
+        for fig in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8"):
+            args = parser.parse_args([fig, "--scale", "smoke"])
+            assert args.command == fig
+            assert args.scale == "smoke"
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.tasks == 50
+        assert args.epsilon == 1.0
+
+    def test_uls_parsing(self):
+        args = build_parser().parse_args(["fig4", "--uls", "2", "4.5"])
+        assert args.uls == [2.0, 4.5]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--scale", "enormous"])
+
+
+class TestRun:
+    def test_solve_output(self):
+        out = run(["solve", "--tasks", "10", "--seed", "3", "--realizations", "50"])
+        assert "HEFT" in out
+        assert "robust GA" in out
+        assert "R1" in out
+
+    def test_solve_epsilon_affects_output(self):
+        tight = run(["solve", "--tasks", "10", "--seed", "3", "--realizations", "50"])
+        loose = run(
+            [
+                "solve",
+                "--tasks",
+                "10",
+                "--seed",
+                "3",
+                "--realizations",
+                "50",
+                "--epsilon",
+                "2.0",
+            ]
+        )
+        assert tight != loose

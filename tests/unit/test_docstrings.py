@@ -1,0 +1,68 @@
+"""Documentation gate: every public item in :mod:`repro` has a docstring.
+
+Walks the package, imports every module, and checks that all public
+modules, classes, functions and methods carry non-empty docstrings —
+deliverable-level documentation is enforced, not aspirational.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+def _public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        # Only report items defined in this package (not numpy etc.).
+        mod = getattr(obj, "__module__", None)
+        if mod is None or not mod.startswith("repro"):
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield f"{module.__name__}.{name}", obj
+
+
+def test_every_module_has_docstring():
+    missing = [m.__name__ for m in _iter_modules() if not (m.__doc__ or "").strip()]
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_class_and_function_has_docstring():
+    missing = []
+    for module in _iter_modules():
+        for qualname, obj in _public_members(module):
+            if not (obj.__doc__ or "").strip():
+                missing.append(qualname)
+    assert not missing, f"public items without docstrings: {sorted(set(missing))}"
+
+
+def test_every_public_method_has_docstring():
+    missing = []
+    seen: set[type] = set()
+    for module in _iter_modules():
+        for qualname, obj in _public_members(module):
+            if not inspect.isclass(obj) or obj in seen:
+                continue
+            seen.add(obj)
+            for name, member in vars(obj).items():
+                if name.startswith("_") and name != "__init__":
+                    continue
+                if inspect.isfunction(member):
+                    doc = (member.__doc__ or "").strip()
+                    # __init__ may document via the class docstring.
+                    if name == "__init__":
+                        continue
+                    if not doc:
+                        missing.append(f"{qualname}.{name}")
+                elif isinstance(member, property):
+                    if not (member.fget.__doc__ or "").strip():
+                        missing.append(f"{qualname}.{name} (property)")
+    assert not missing, f"public methods without docstrings: {sorted(set(missing))}"

@@ -1,0 +1,172 @@
+"""Edge-case and stress tests across the whole stack.
+
+Adversarial instance shapes: pure chains (no parallelism), fully
+independent tasks (no precedence), zero communication, extreme
+communication, single processor, many processors vs few tasks, extreme
+uncertainty levels.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.problem import SchedulingProblem
+from repro.ga.engine import GAParams, GeneticScheduler
+from repro.ga.fitness import SlackFitness
+from repro.graph.taskgraph import TaskGraph
+from repro.platform.platform import Platform
+from repro.platform.uncertainty import UncertaintyModel
+from repro.schedule.evaluation import evaluate
+from repro.sim import simulate
+
+ALL_SCHEDULERS = [
+    repro.HeftScheduler(),
+    repro.CpopScheduler(),
+    repro.PeftScheduler(),
+    repro.MinMinScheduler(),
+    repro.QuantileHeftScheduler(0.9),
+]
+
+
+def _problem(graph: TaskGraph, m: int = 3, seed: int = 0, ul: float = 2.0):
+    rng = np.random.default_rng(seed)
+    bcet = rng.uniform(1.0, 10.0, size=(graph.n, m))
+    return SchedulingProblem(
+        graph=graph,
+        platform=Platform(m),
+        uncertainty=UncertaintyModel(bcet, np.full((graph.n, m), ul)),
+    )
+
+
+class TestChainGraph:
+    """A pure chain: zero parallelism, every task critical."""
+
+    @pytest.fixture
+    def chain(self):
+        n = 12
+        graph = TaskGraph(n, [(i, i + 1) for i in range(n - 1)], name="chain12")
+        return _problem(graph)
+
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name)
+    def test_schedulers_handle_chain(self, chain, scheduler):
+        s = scheduler.schedule(chain)
+        ev = evaluate(s)
+        assert ev.makespan > 0
+
+    def test_single_proc_chain_all_critical(self, chain):
+        from repro.schedule.schedule import Schedule
+
+        s = Schedule(chain, [list(range(12)), [], []])
+        ev = evaluate(s)
+        assert np.allclose(ev.slacks, 0.0)
+        assert ev.avg_slack == pytest.approx(0.0, abs=1e-9)
+
+    def test_ga_on_zero_slack_landscape(self, chain):
+        """Slack-GA on a chain: every same-proc schedule has zero slack;
+        the GA must survive a flat fitness landscape."""
+        engine = GeneticScheduler(
+            SlackFitness(), GAParams(max_iterations=15, population_size=8), rng=0
+        )
+        result = engine.run(chain)
+        assert result.best.avg_slack >= 0.0
+
+
+class TestIndependentTasks:
+    """No precedence at all: scheduling is pure load balancing."""
+
+    @pytest.fixture
+    def independent(self):
+        return _problem(TaskGraph(10, [], name="indep10"), m=4, seed=1)
+
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS, ids=lambda s: s.name)
+    def test_schedulers_spread_load(self, independent, scheduler):
+        s = scheduler.schedule(independent)
+        used = sum(1 for tasks in s.proc_orders if len(tasks) > 0)
+        assert used >= 2  # no sane scheduler serializes independent tasks
+
+    def test_makespan_at_least_max_min_time(self, independent):
+        s = repro.HeftScheduler().schedule(independent)
+        lower = independent.expected_times.min(axis=1).max()
+        assert evaluate(s).makespan >= lower - 1e-9
+
+
+class TestExtremeCommunication:
+    def test_huge_comm_forces_colocation(self):
+        """With enormous transfer costs, HEFT should co-locate the chain."""
+        graph = TaskGraph(3, [(0, 1), (1, 2)], [1e6, 1e6], name="heavy-comm")
+        problem = _problem(graph, m=3, seed=2)
+        s = repro.HeftScheduler().schedule(problem)
+        assert len(set(int(p) for p in s.proc_of)) == 1
+
+    def test_zero_comm_graph(self):
+        graph = TaskGraph(6, [(0, 2), (1, 2), (2, 3), (2, 4), (3, 5), (4, 5)])
+        problem = _problem(graph, m=2, seed=3)
+        s = repro.HeftScheduler().schedule(problem)
+        assert np.all(s.comm_weights == 0.0)
+        assert np.isclose(simulate(s).makespan, evaluate(s).makespan)
+
+
+class TestDegenerateShapes:
+    def test_more_processors_than_tasks(self):
+        problem = _problem(TaskGraph(2, [(0, 1)]), m=8, seed=4)
+        for scheduler in ALL_SCHEDULERS:
+            s = scheduler.schedule(problem)
+            assert evaluate(s).makespan > 0
+
+    def test_single_processor_everything(self):
+        problem = _problem(TaskGraph(6, [(0, 1), (1, 2)]), m=1, seed=5)
+        s = repro.HeftScheduler().schedule(problem)
+        # Single processor: makespan is at least the sum of all times.
+        assert evaluate(s).makespan >= problem.expected_times.sum() - 1e-9
+
+    def test_extreme_uncertainty(self):
+        problem = _problem(TaskGraph(5, [(0, 4), (1, 4), (2, 4), (3, 4)]), ul=50.0)
+        s = repro.HeftScheduler().schedule(problem)
+        report = repro.assess_robustness(s, 300, rng=0)
+        # Wild uncertainty: realized makespans spread over a huge range but
+        # all metrics remain finite and well-formed.
+        assert np.isfinite(report.mean_makespan)
+        assert report.mean_tardiness >= 0
+        assert 0 <= report.miss_rate <= 1
+
+    def test_ul_exactly_one_everywhere(self):
+        problem = _problem(TaskGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)]), ul=1.0)
+        s = repro.HeftScheduler().schedule(problem)
+        report = repro.assess_robustness(s, 100, rng=1)
+        assert report.miss_rate == 0.0
+        assert np.allclose(report.realized_makespans, report.expected_makespan)
+
+    def test_wide_fanout(self):
+        """One source feeding 40 children (scheduling-string stress)."""
+        n = 41
+        graph = TaskGraph(n, [(0, i) for i in range(1, n)], name="star")
+        problem = _problem(graph, m=4, seed=6)
+        result = repro.RobustScheduler(
+            epsilon=1.2, params=GAParams(max_iterations=20), rng=0
+        ).solve(problem)
+        assert result.feasible
+
+
+class TestNumericalRobustness:
+    def test_tiny_durations(self):
+        graph = TaskGraph(4, [(0, 1), (1, 2), (2, 3)])
+        times = np.full((4, 2), 1e-12)
+        problem = SchedulingProblem.deterministic(graph, times)
+        s = repro.HeftScheduler().schedule(problem)
+        ev = evaluate(s)
+        assert ev.makespan > 0
+        assert np.all(ev.slacks >= 0)
+
+    def test_huge_durations(self):
+        graph = TaskGraph(4, [(0, 1), (1, 2), (2, 3)])
+        times = np.full((4, 2), 1e12)
+        problem = SchedulingProblem.deterministic(graph, times)
+        s = repro.HeftScheduler().schedule(problem)
+        assert np.isfinite(evaluate(s).makespan)
+
+    def test_mixed_magnitudes(self):
+        graph = TaskGraph(3, [(0, 1), (1, 2)], [1e-9, 1e9])
+        times = np.array([[1e-6, 1e6], [1e6, 1e-6], [1.0, 1.0]])
+        problem = SchedulingProblem.deterministic(graph, times)
+        s = repro.HeftScheduler().schedule(problem)
+        assert np.isclose(simulate(s).makespan, evaluate(s).makespan)

@@ -1,0 +1,80 @@
+"""Unit tests for the COV-based ETC generator (Ali et al. method)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.etc import EtcParams, gamma_gamma_matrix, generate_etc
+
+
+class TestEtcParams:
+    def test_defaults_match_paper(self):
+        p = EtcParams()
+        assert p.mu_task == 20.0
+        assert p.v_task == 0.5
+        assert p.v_mach == 0.5
+
+    @pytest.mark.parametrize("kwargs", [{"mu_task": 0}, {"v_task": -1}, {"v_mach": 0}])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            EtcParams(**kwargs)
+
+
+class TestGammaGammaMatrix:
+    def test_shape_and_positivity(self):
+        m = gamma_gamma_matrix(50, 8, 20.0, 0.5, 0.5, rng=0)
+        assert m.shape == (50, 8)
+        assert np.all(m > 0)
+
+    def test_grand_mean(self):
+        m = gamma_gamma_matrix(3000, 8, 20.0, 0.5, 0.5, rng=1)
+        assert abs(m.mean() - 20.0) / 20.0 < 0.1
+
+    def test_row_cov_reflects_v_mach(self):
+        # Within a row the COV should be close to v_mach.
+        m = gamma_gamma_matrix(300, 400, 20.0, 0.5, 0.3, rng=2)
+        covs = m.std(axis=1) / m.mean(axis=1)
+        assert abs(np.median(covs) - 0.3) < 0.05
+
+    def test_row_means_cov_reflects_v_task(self):
+        m = gamma_gamma_matrix(4000, 60, 20.0, 0.5, 0.1, rng=3)
+        row_means = m.mean(axis=1)
+        cov = row_means.std() / row_means.mean()
+        # Row means ~ Gamma(mean 20, COV 0.5) plus small v_mach noise.
+        assert abs(cov - 0.5) < 0.08
+
+    def test_minimum_clamp(self):
+        m = gamma_gamma_matrix(500, 4, 1.2, 0.5, 0.5, rng=4, minimum=1.0)
+        assert np.all(m >= 1.0)
+
+    def test_reproducible(self):
+        a = gamma_gamma_matrix(10, 3, 5.0, 0.5, 0.5, rng=42)
+        b = gamma_gamma_matrix(10, 3, 5.0, 0.5, 0.5, rng=42)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize(
+        "args",
+        [
+            (0, 3, 1.0, 0.5, 0.5),
+            (3, 0, 1.0, 0.5, 0.5),
+            (3, 3, 0.0, 0.5, 0.5),
+            (3, 3, 1.0, 0.0, 0.5),
+            (3, 3, 1.0, 0.5, -0.5),
+        ],
+    )
+    def test_rejects_bad_args(self, args):
+        with pytest.raises(ValueError):
+            gamma_gamma_matrix(*args, rng=0)
+
+
+class TestGenerateEtc:
+    def test_default_params(self):
+        b = generate_etc(20, 4, rng=0)
+        assert b.shape == (20, 4)
+        assert np.all(b > 0)
+
+    def test_heterogeneity_visible(self):
+        b = generate_etc(100, 8, EtcParams(mu_task=20, v_task=0.5, v_mach=0.5), rng=1)
+        # Machine heterogeneity: a task's times differ across processors.
+        assert np.all(b.max(axis=1) > b.min(axis=1))
+        # Task heterogeneity: task means differ.
+        assert b.mean(axis=1).std() > 1.0

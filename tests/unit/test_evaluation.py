@@ -1,0 +1,142 @@
+"""Unit tests for schedule evaluation (makespan, levels, slack)."""
+
+import numpy as np
+import pytest
+
+from repro.schedule.evaluation import (
+    batch_makespans,
+    evaluate,
+    expected_makespan,
+    task_slacks,
+)
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture
+def two_proc_schedule(diamond_problem):
+    """Hand-computed: P0=[0,1], P1=[2,3]; makespan 29 (see docstring math).
+
+    Durations (2, 4, 4, 3); comm: (0,2)=20, (1,3)=10, rest intra-proc.
+    Tl = (0, 2, 22, 26); Bl = (29, 17, 7, 3); slacks = (0, 10, 0, 0).
+    """
+    return Schedule(diamond_problem, [[0, 1], [2, 3]])
+
+
+@pytest.fixture
+def packed_schedule(diamond_problem):
+    """P0=[0], P1=[1,2,3] with a real disjunctive chain edge (1,2).
+
+    Makespan 29; slacks (0, 5, 0, 0).
+    """
+    return Schedule(diamond_problem, [[0], [1, 2, 3]])
+
+
+class TestEvaluateHandComputed:
+    def test_makespan(self, two_proc_schedule):
+        assert evaluate(two_proc_schedule).makespan == 29.0
+
+    def test_levels(self, two_proc_schedule):
+        ev = evaluate(two_proc_schedule)
+        assert ev.top_levels.tolist() == [0.0, 2.0, 22.0, 26.0]
+        assert ev.bottom_levels.tolist() == [29.0, 17.0, 7.0, 3.0]
+
+    def test_start_finish_times(self, two_proc_schedule):
+        ev = evaluate(two_proc_schedule)
+        assert ev.start_times.tolist() == [0.0, 2.0, 22.0, 26.0]
+        assert ev.finish_times.tolist() == [2.0, 6.0, 26.0, 29.0]
+
+    def test_slacks(self, two_proc_schedule):
+        ev = evaluate(two_proc_schedule)
+        assert ev.slacks.tolist() == [0.0, 10.0, 0.0, 0.0]
+        assert ev.avg_slack == 2.5
+
+    def test_critical_tasks(self, two_proc_schedule):
+        assert evaluate(two_proc_schedule).critical_tasks.tolist() == [0, 2, 3]
+
+    def test_packed_schedule(self, packed_schedule):
+        ev = evaluate(packed_schedule)
+        assert ev.makespan == 29.0
+        assert ev.slacks.tolist() == [0.0, 5.0, 0.0, 0.0]
+
+    def test_convenience_wrappers(self, two_proc_schedule):
+        assert expected_makespan(two_proc_schedule) == 29.0
+        assert task_slacks(two_proc_schedule).tolist() == [0.0, 10.0, 0.0, 0.0]
+
+
+class TestEvaluateCustomDurations:
+    def test_custom_durations(self, two_proc_schedule):
+        # Stretch task 1 by its full slack of 10: makespan unchanged.
+        ev = evaluate(two_proc_schedule, np.array([2.0, 14.0, 4.0, 3.0]))
+        assert ev.makespan == 29.0
+
+    def test_exceeding_slack_extends(self, two_proc_schedule):
+        ev = evaluate(two_proc_schedule, np.array([2.0, 15.0, 4.0, 3.0]))
+        assert ev.makespan == 30.0
+
+    def test_rejects_wrong_shape(self, two_proc_schedule):
+        with pytest.raises(ValueError, match="shape"):
+            evaluate(two_proc_schedule, np.array([1.0, 2.0]))
+
+    def test_rejects_negative(self, two_proc_schedule):
+        with pytest.raises(ValueError, match="non-negative"):
+            evaluate(two_proc_schedule, np.array([1.0, -2.0, 3.0, 4.0]))
+
+    def test_rejects_nan(self, two_proc_schedule):
+        with pytest.raises(ValueError, match="finite"):
+            evaluate(two_proc_schedule, np.array([1.0, np.nan, 3.0, 4.0]))
+
+
+class TestCaching:
+    def test_expected_eval_cached(self, two_proc_schedule):
+        a = evaluate(two_proc_schedule)
+        b = evaluate(two_proc_schedule)
+        assert a is b
+
+    def test_custom_durations_not_cached(self, two_proc_schedule):
+        a = evaluate(two_proc_schedule, np.array([2.0, 4.0, 4.0, 3.0]))
+        b = evaluate(two_proc_schedule)
+        assert a is not b
+        assert a.makespan == b.makespan
+
+
+class TestBatchMakespans:
+    def test_matches_sequential(self, two_proc_schedule):
+        rng = np.random.default_rng(5)
+        durs = rng.uniform(1, 10, size=(32, 4))
+        batched = batch_makespans(two_proc_schedule, durs)
+        singles = np.array([evaluate(two_proc_schedule, d).makespan for d in durs])
+        assert np.allclose(batched, singles)
+
+    def test_expected_row_matches_m0(self, two_proc_schedule):
+        durs = two_proc_schedule.expected_durations()[None, :]
+        assert batch_makespans(two_proc_schedule, durs)[0] == 29.0
+
+    def test_rejects_1d(self, two_proc_schedule):
+        with pytest.raises(ValueError, match="shape"):
+            batch_makespans(two_proc_schedule, np.ones(4))
+
+    def test_rejects_negative(self, two_proc_schedule):
+        with pytest.raises(ValueError, match="non-negative"):
+            batch_makespans(two_proc_schedule, -np.ones((2, 4)))
+
+    def test_monotone_in_durations(self, two_proc_schedule):
+        base = np.tile(two_proc_schedule.expected_durations(), (4, 1))
+        bumped = base.copy()
+        bumped[:, 2] += 5.0  # critical task
+        assert np.all(
+            batch_makespans(two_proc_schedule, bumped)
+            >= batch_makespans(two_proc_schedule, base)
+        )
+
+
+class TestSingleTask:
+    def test_trivial_schedule(self, single_task_problem):
+        s = Schedule(single_task_problem, [[0], []])
+        ev = evaluate(s)
+        assert ev.makespan == 7.0
+        assert ev.slacks.tolist() == [0.0]
+        assert ev.avg_slack == 0.0
+
+    def test_other_processor(self, single_task_problem):
+        s = Schedule(single_task_problem, [[], [0]])
+        assert evaluate(s).makespan == 9.0

@@ -1,0 +1,95 @@
+"""Unit tests for the discrete-event execution simulator."""
+
+import numpy as np
+import pytest
+
+from repro.schedule.evaluation import evaluate
+from repro.schedule.schedule import Schedule
+from repro.sim.eventsim import simulate
+from tests.conftest import make_random_problem
+
+
+class TestSimulateHandComputed:
+    def test_diamond_two_procs(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        res = simulate(s)
+        assert res.makespan == 29.0
+        assert res.start_times.tolist() == [0.0, 2.0, 22.0, 26.0]
+        assert res.finish_times.tolist() == [2.0, 6.0, 26.0, 29.0]
+
+    def test_packed_schedule(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0], [1, 2, 3]])
+        res = simulate(s)
+        assert res.makespan == 29.0
+        assert res.start_times.tolist() == [0.0, 12.0, 22.0, 26.0]
+
+    def test_custom_durations(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        res = simulate(s, np.array([2.0, 14.0, 4.0, 3.0]))
+        assert res.makespan == 29.0  # slack of task 1 absorbs the delay
+
+    def test_rejects_wrong_duration_shape(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        with pytest.raises(ValueError, match="shape"):
+            simulate(s, np.ones(3))
+
+
+class TestAgreementWithEvaluator:
+    """The event simulator and the critical-path evaluator are independent
+    implementations of the same semantics — they must agree exactly."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_schedules_expected_durations(self, seed):
+        from repro.heuristics.random_sched import random_schedule
+
+        problem = make_random_problem(seed, n=15, m=3)
+        s = random_schedule(problem, seed)
+        ev = evaluate(s)
+        res = simulate(s)
+        assert np.isclose(res.makespan, ev.makespan)
+        assert np.allclose(res.start_times, ev.start_times)
+        assert np.allclose(res.finish_times, ev.finish_times)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_schedules_realized_durations(self, seed):
+        from repro.heuristics.random_sched import random_schedule
+
+        problem = make_random_problem(seed + 100, n=12, m=4, mean_ul=4.0)
+        s = random_schedule(problem, seed)
+        durs = s.realize_durations(5, rng=seed)
+        for d in durs:
+            assert np.isclose(simulate(s, d).makespan, evaluate(s, d).makespan)
+
+    def test_heft_schedule_agreement(self, small_random_problem):
+        from repro.heuristics.heft import HeftScheduler
+
+        s = HeftScheduler().schedule(small_random_problem)
+        assert np.isclose(simulate(s).makespan, evaluate(s).makespan)
+
+
+class TestGantt:
+    def test_gantt_sorted_and_complete(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        entries = simulate(s).gantt(s)
+        assert len(entries) == 4
+        assert [e.task for e in entries] == [0, 1, 2, 3]
+        assert entries[0].processor == 0
+        assert entries[2].processor == 1
+
+    def test_no_overlap_within_processor(self, small_random_problem):
+        from repro.heuristics.random_sched import random_schedule
+
+        s = random_schedule(small_random_problem, 9)
+        entries = simulate(s).gantt(s)
+        by_proc: dict[int, list] = {}
+        for e in entries:
+            by_proc.setdefault(e.processor, []).append(e)
+        for items in by_proc.values():
+            for a, b in zip(items[:-1], items[1:]):
+                assert a.finish <= b.start + 1e-9
+
+    def test_duration_property(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        entries = simulate(s).gantt(s)
+        durs = {e.task: e.duration for e in entries}
+        assert durs == {0: 2.0, 1: 4.0, 2: 4.0, 3: 3.0}

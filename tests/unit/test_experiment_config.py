@@ -1,0 +1,103 @@
+"""Unit tests for experiment configuration and workload factory."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PAPER_ULS, SCALES, ExperimentConfig, Scale
+from repro.experiments.workloads import make_problems
+
+
+class TestScale:
+    def test_paper_preset_matches_sec5(self):
+        s = SCALES["paper"]
+        assert s.n_graphs == 100
+        assert s.n_realizations == 1000
+        assert s.n_tasks == 100
+        assert s.ga_max_iterations == 1000
+        assert s.ga_stagnation == 100
+
+    def test_presets_exist(self):
+        assert set(SCALES) == {"paper", "medium", "smoke"}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Scale("bad", 0, 1, 1, 1, 1)
+
+
+class TestExperimentConfig:
+    def test_scale_by_name(self):
+        cfg = ExperimentConfig(scale="smoke")
+        assert cfg.scale is SCALES["smoke"]
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            ExperimentConfig(scale="huge")
+
+    def test_scale_overrides_dag_n(self):
+        cfg = ExperimentConfig(scale="smoke")
+        assert cfg.dag.n == SCALES["smoke"].n_tasks
+
+    def test_uncertainty_params(self):
+        cfg = ExperimentConfig(scale="smoke")
+        u = cfg.uncertainty(4.0)
+        assert u.mean_ul == 4.0
+        assert u.v1 == 0.5 and u.v2 == 0.5
+
+    def test_ga_params_track_scale(self):
+        cfg = ExperimentConfig(scale="smoke")
+        p = cfg.ga_params()
+        assert p.max_iterations == SCALES["smoke"].ga_max_iterations
+        assert p.population_size == 20
+        assert p.seed_heft
+        assert not cfg.ga_params(seed_heft=False).seed_heft
+
+    def test_paper_uls(self):
+        assert PAPER_ULS == (2.0, 4.0, 6.0, 8.0)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale="smoke", m=0)
+
+
+class TestMakeProblems:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return ExperimentConfig(scale="smoke", seed=77)
+
+    def test_count_and_shape(self, cfg):
+        problems = make_problems(cfg, 2.0)
+        assert len(problems) == cfg.scale.n_graphs
+        for p in problems:
+            assert p.n == cfg.scale.n_tasks
+            assert p.m == cfg.m
+
+    def test_reproducible(self, cfg):
+        a = make_problems(cfg, 2.0)
+        b = make_problems(cfg, 2.0)
+        for pa, pb in zip(a, b):
+            assert pa.graph == pb.graph
+            assert np.array_equal(pa.uncertainty.ul, pb.uncertainty.ul)
+
+    def test_graphs_shared_across_uls(self, cfg):
+        """Different UL levels see the same graphs and BCETs."""
+        low = make_problems(cfg, 2.0)
+        high = make_problems(cfg, 8.0)
+        for pl, ph in zip(low, high):
+            assert pl.graph == ph.graph
+            assert np.array_equal(pl.uncertainty.bcet, ph.uncertainty.bcet)
+            assert not np.array_equal(pl.uncertainty.ul, ph.uncertainty.ul)
+
+    def test_instances_differ(self, cfg):
+        problems = make_problems(cfg, 2.0)
+        assert problems[0].graph != problems[1].graph
+
+    def test_ul_scales_with_level(self, cfg):
+        low = make_problems(cfg, 2.0)
+        high = make_problems(cfg, 8.0)
+        mean_low = np.mean([p.uncertainty.ul.mean() for p in low])
+        mean_high = np.mean([p.uncertainty.ul.mean() for p in high])
+        assert mean_high > 2 * mean_low
+
+    def test_rejects_ul_below_one(self, cfg):
+        with pytest.raises(ValueError):
+            make_problems(cfg, 0.5)

@@ -1,0 +1,55 @@
+"""Unit tests for ASCII Gantt rendering."""
+
+import pytest
+
+from repro.schedule.gantt import render_gantt
+from repro.schedule.schedule import Schedule
+
+
+class TestRenderGantt:
+    def test_basic_structure(self, diamond_problem):
+        schedule = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        chart = render_gantt(schedule, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # 2 processors + axis
+        assert lines[0].startswith("P0 |")
+        assert lines[1].startswith("P1 |")
+        assert "29" in lines[2]  # makespan on the axis
+
+    def test_bars_positioned(self, diamond_problem):
+        schedule = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        chart = render_gantt(schedule, width=58)
+        p0 = chart.splitlines()[0]
+        # Task 0 occupies the left edge of P0's row.
+        bar_region = p0[4:]  # strip "P0 |"
+        assert bar_region[0] != " "
+
+    def test_custom_labels(self, diamond_problem):
+        schedule = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        chart = render_gantt(
+            schedule, width=72, labels={2: "bigjob", 3: "tail"}
+        )
+        assert "bigjob" in chart
+
+    def test_custom_durations(self, diamond_problem):
+        import numpy as np
+
+        schedule = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        chart = render_gantt(schedule, np.array([2.0, 15.0, 4.0, 3.0]), width=40)
+        assert "30" in chart.splitlines()[-1]  # stretched makespan
+
+    def test_empty_processor_row(self, diamond_problem):
+        schedule = Schedule(diamond_problem, [[0, 1, 2, 3], []])
+        chart = render_gantt(schedule, width=40)
+        p1 = chart.splitlines()[1]
+        assert set(p1[4:-1]) == {" "}
+
+    def test_rejects_tiny_width(self, diamond_problem):
+        schedule = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        with pytest.raises(ValueError, match="width"):
+            render_gantt(schedule, width=5)
+
+    def test_single_task(self, single_task_problem):
+        schedule = Schedule(single_task_problem, [[0], []])
+        chart = render_gantt(schedule, width=20)
+        assert chart.splitlines()[0].count("=") > 5  # bar spans the row

@@ -1,0 +1,111 @@
+"""Unit tests for the layered random-DAG generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import dag_levels
+from repro.graph.generator import DagParams, random_dag, random_layering
+
+
+class TestDagParams:
+    def test_defaults_match_paper(self):
+        p = DagParams()
+        assert p.n == 100
+        assert p.alpha == 1.0
+        assert p.cc == 20.0
+        assert p.ccr == 0.1
+
+    def test_mean_data_size(self):
+        assert DagParams(cc=20.0, ccr=0.5).mean_data_size == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n": 0},
+            {"alpha": 0.0},
+            {"alpha": -1.0},
+            {"cc": 0.0},
+            {"ccr": -0.1},
+            {"extra_in_degree": -1.0},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            DagParams(**kwargs)
+
+
+class TestRandomLayering:
+    def test_partition_property(self):
+        rng = np.random.default_rng(0)
+        for n in (1, 2, 7, 30, 100):
+            levels = random_layering(n, 1.0, rng)
+            ids = np.concatenate(levels)
+            assert sorted(ids.tolist()) == list(range(n))
+            assert all(lvl.size >= 1 for lvl in levels)
+
+    def test_ids_assigned_level_by_level(self):
+        rng = np.random.default_rng(1)
+        levels = random_layering(50, 1.0, rng)
+        flat = np.concatenate(levels)
+        assert np.array_equal(flat, np.arange(50))
+
+    def test_alpha_controls_height(self):
+        rng = np.random.default_rng(2)
+        tall = np.mean([len(random_layering(100, 0.5, rng)) for _ in range(30)])
+        flat = np.mean([len(random_layering(100, 2.0, rng)) for _ in range(30)])
+        assert tall > flat  # alpha < 1 -> long/thin, alpha > 1 -> short/fat
+
+    def test_single_task(self):
+        levels = random_layering(1, 1.0, np.random.default_rng(3))
+        assert len(levels) == 1
+        assert levels[0].tolist() == [0]
+
+
+class TestRandomDag:
+    def test_reproducible(self):
+        p = DagParams(n=40)
+        a = random_dag(p, 99)
+        b = random_dag(p, 99)
+        assert a == b
+
+    def test_task_count(self):
+        g = random_dag(DagParams(n=25), 0)
+        assert g.n == 25
+
+    def test_connectivity_no_orphan_mid_levels(self):
+        # Every non-entry task has at least one parent from the previous level,
+        # so dag_levels should recover a contiguous layering.
+        g = random_dag(DagParams(n=60), 5)
+        levels = dag_levels(g)
+        assert levels.min() == 0
+        present = set(levels.tolist())
+        assert present == set(range(max(present) + 1))
+
+    def test_edges_point_forward(self):
+        g = random_dag(DagParams(n=60), 7)
+        assert np.all(g.edge_src < g.edge_dst)
+
+    def test_mean_data_size_tracks_ccr(self):
+        p = DagParams(n=200, ccr=1.0, cc=20.0)
+        g = random_dag(p, 11)
+        assert g.num_edges > 100
+        # Uniform(0, 2*mean): sample mean within 25% of target.
+        assert abs(g.edge_data.mean() - p.mean_data_size) / p.mean_data_size < 0.25
+
+    def test_zero_ccr_zero_data(self):
+        g = random_dag(DagParams(n=30, ccr=0.0), 13)
+        assert np.all(g.edge_data == 0.0)
+
+    def test_custom_name(self):
+        g = random_dag(DagParams(n=5), 0, name="mygraph")
+        assert g.name == "mygraph"
+
+    def test_extra_in_degree_increases_density(self):
+        sparse = random_dag(DagParams(n=80, extra_in_degree=0.0), 17)
+        dense = random_dag(DagParams(n=80, extra_in_degree=3.0), 17)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_single_task_graph(self):
+        g = random_dag(DagParams(n=1), 0)
+        assert g.n == 1
+        assert g.num_edges == 0

@@ -1,0 +1,157 @@
+"""Unit tests for HEFT, validated against the canonical example of
+Topcuoglu, Hariri & Wu (IEEE TPDS 2002) — the paper's ref. [24]."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.taskgraph import TaskGraph
+from repro.heuristics.heft import HeftScheduler, downward_ranks, upward_ranks
+from repro.schedule.evaluation import evaluate
+from tests.conftest import make_random_problem
+
+
+@pytest.fixture
+def topcuoglu_problem() -> SchedulingProblem:
+    """The 10-task, 3-processor worked example from the HEFT paper.
+
+    Published upward ranks: v1=108.000, v2=77.000, v3=80.000, v4=80.000,
+    v5=69.000, v6=63.333, v7=42.667, v8=35.667, v9=44.333, v10=14.667.
+    Published HEFT makespan: 80.
+    """
+    # Tasks renumbered 0-based (paper's v1 -> 0, ...).
+    edges = {
+        (0, 1): 18.0,
+        (0, 2): 12.0,
+        (0, 3): 9.0,
+        (0, 4): 11.0,
+        (0, 5): 14.0,
+        (1, 7): 19.0,
+        (1, 8): 16.0,
+        (2, 6): 23.0,
+        (3, 7): 27.0,
+        (3, 8): 23.0,
+        (4, 8): 13.0,
+        (5, 7): 15.0,
+        (6, 9): 17.0,
+        (7, 9): 11.0,
+        (8, 9): 13.0,
+    }
+    graph = TaskGraph(10, list(edges), list(edges.values()), name="topcuoglu")
+    times = np.array(
+        [
+            [14.0, 16.0, 9.0],
+            [13.0, 19.0, 18.0],
+            [11.0, 13.0, 19.0],
+            [13.0, 8.0, 17.0],
+            [12.0, 13.0, 10.0],
+            [13.0, 16.0, 9.0],
+            [7.0, 15.0, 11.0],
+            [5.0, 11.0, 14.0],
+            [18.0, 12.0, 20.0],
+            [21.0, 7.0, 16.0],
+        ]
+    )
+    return SchedulingProblem.deterministic(graph, times, name="topcuoglu")
+
+
+class TestUpwardRanks:
+    def test_published_values(self, topcuoglu_problem):
+        ranks = upward_ranks(topcuoglu_problem)
+        published = [
+            108.000,
+            77.000,
+            80.000,
+            80.000,
+            69.000,
+            63.333,
+            42.667,
+            35.667,
+            44.333,
+            14.667,
+        ]
+        assert np.allclose(ranks, published, atol=0.01)
+
+    def test_exit_rank_is_average_time(self, topcuoglu_problem):
+        ranks = upward_ranks(topcuoglu_problem)
+        assert np.isclose(ranks[9], (21 + 7 + 16) / 3)
+
+    def test_monotone_along_edges(self, small_random_problem):
+        ranks = upward_ranks(small_random_problem)
+        g = small_random_problem.graph
+        for u, v, _ in g.edges():
+            assert ranks[u] > ranks[v]
+
+
+class TestDownwardRanks:
+    def test_entry_is_zero(self, topcuoglu_problem):
+        ranks = downward_ranks(topcuoglu_problem)
+        assert ranks[0] == 0.0
+
+    def test_monotone_along_edges(self, small_random_problem):
+        ranks = downward_ranks(small_random_problem)
+        g = small_random_problem.graph
+        for u, v, _ in g.edges():
+            assert ranks[v] > ranks[u]
+
+    def test_hand_value(self, topcuoglu_problem):
+        # rank_d(v2) = rank_d(v1) + w1_avg + c(1,2) = 0 + 13 + 18 = 31.
+        ranks = downward_ranks(topcuoglu_problem)
+        assert np.isclose(ranks[1], 31.0)
+
+
+class TestHeftSchedule:
+    def test_published_makespan(self, topcuoglu_problem):
+        schedule = HeftScheduler().schedule(topcuoglu_problem)
+        assert np.isclose(evaluate(schedule).makespan, 80.0)
+
+    def test_deterministic(self, small_random_problem):
+        a = HeftScheduler().schedule(small_random_problem)
+        b = HeftScheduler().schedule(small_random_problem)
+        assert a == b
+
+    def test_beats_random_on_average(self):
+        from repro.heuristics.random_sched import random_schedule
+
+        wins = 0
+        for seed in range(10):
+            problem = make_random_problem(seed, n=20, m=3)
+            heft_m = evaluate(HeftScheduler().schedule(problem)).makespan
+            rand_m = evaluate(random_schedule(problem, seed)).makespan
+            wins += heft_m <= rand_m
+        assert wins >= 9
+
+    def test_single_processor(self, diamond_problem):
+        import dataclasses
+
+        from repro.platform.platform import Platform
+        from repro.platform.uncertainty import UncertaintyModel
+
+        problem = SchedulingProblem(
+            graph=diamond_problem.graph,
+            platform=Platform(1),
+            uncertainty=UncertaintyModel.deterministic(
+                diamond_problem.expected_times[:, :1]
+            ),
+        )
+        schedule = HeftScheduler().schedule(problem)
+        # One processor: makespan is the serial sum.
+        assert evaluate(schedule).makespan == 2 + 4 + 6 + 3
+
+    def test_single_task(self, single_task_problem):
+        schedule = HeftScheduler().schedule(single_task_problem)
+        # Picks the faster processor (7 < 9).
+        assert evaluate(schedule).makespan == 7.0
+
+    def test_insertion_fills_gaps(self):
+        """A low-priority independent task should slot into an idle gap."""
+        # Chain 0->1 with heavy comm forces a gap on the chain's processor
+        # if 1 runs elsewhere; here all on one proc keeps it simple: the
+        # independent task 2 must not extend the makespan when it fits.
+        graph = TaskGraph(3, [(0, 1)], [100.0], name="gap")
+        times = np.array([[2.0, 50.0], [2.0, 50.0], [3.0, 3.0]])
+        problem = SchedulingProblem.deterministic(graph, times)
+        schedule = HeftScheduler().schedule(problem)
+        ev = evaluate(schedule)
+        # 0 and 1 run back-to-back on p0 (0-2, 2-4); 2 fits anywhere.
+        assert ev.makespan <= 7.0

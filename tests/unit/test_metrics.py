@@ -1,0 +1,70 @@
+"""Unit tests for robustness metrics (tardiness, miss rate, R1, R2)."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.metrics import (
+    mean_relative_tardiness,
+    miss_rate,
+    relative_tardiness,
+    robustness_miss_rate,
+    robustness_tardiness,
+)
+
+
+class TestRelativeTardiness:
+    def test_hand_values(self):
+        realized = np.array([90.0, 100.0, 110.0, 150.0])
+        delta = relative_tardiness(realized, 100.0)
+        assert delta.tolist() == [0.0, 0.0, 0.1, 0.5]
+
+    def test_never_negative(self):
+        delta = relative_tardiness(np.array([1.0, 2.0, 3.0]), 100.0)
+        assert np.all(delta == 0.0)
+
+    def test_mean(self):
+        realized = np.array([100.0, 120.0])
+        assert mean_relative_tardiness(realized, 100.0) == pytest.approx(0.1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="at least one"):
+            relative_tardiness(np.array([]), 100.0)
+
+    def test_nonpositive_expected_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            relative_tardiness(np.array([1.0]), 0.0)
+
+
+class TestMissRate:
+    def test_hand_values(self):
+        realized = np.array([90.0, 100.0, 110.0, 150.0])
+        # Strictly greater: 100.0 does not miss.
+        assert miss_rate(realized, 100.0) == 0.5
+
+    def test_all_hit(self):
+        assert miss_rate(np.array([50.0, 99.0]), 100.0) == 0.0
+
+    def test_all_miss(self):
+        assert miss_rate(np.array([101.0, 200.0]), 100.0) == 1.0
+
+
+class TestRobustness:
+    def test_r1_hand_value(self):
+        realized = np.array([100.0, 120.0])  # mean delta = 0.1
+        assert robustness_tardiness(realized, 100.0) == pytest.approx(10.0)
+
+    def test_r1_infinite_when_never_tardy(self):
+        assert robustness_tardiness(np.array([90.0, 100.0]), 100.0) == np.inf
+
+    def test_r2_hand_value(self):
+        realized = np.array([90.0, 110.0, 120.0, 95.0])
+        assert robustness_miss_rate(realized, 100.0) == pytest.approx(2.0)
+
+    def test_r2_infinite_when_never_misses(self):
+        assert robustness_miss_rate(np.array([90.0]), 100.0) == np.inf
+
+    def test_higher_variance_lower_r1(self):
+        rng = np.random.default_rng(0)
+        tight = 100.0 + rng.uniform(-5, 5, 1000)
+        wide = 100.0 + rng.uniform(-50, 50, 1000)
+        assert robustness_tardiness(tight, 100.0) > robustness_tardiness(wide, 100.0)

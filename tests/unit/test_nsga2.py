@@ -1,0 +1,75 @@
+"""Unit tests for the NSGA-II extension."""
+
+import numpy as np
+import pytest
+
+from repro.ga.engine import GAParams
+from repro.moop.nsga2 import Nsga2Scheduler
+from repro.moop.pareto import pareto_front_mask
+
+
+@pytest.fixture(scope="module")
+def nsga_result():
+    from tests.conftest import make_random_problem
+
+    problem = make_random_problem(7, n=14, m=3)
+    params = GAParams(max_iterations=40, population_size=16)
+    return problem, Nsga2Scheduler(params, rng=0).run(problem)
+
+
+class TestNsga2:
+    def test_front_nonempty(self, nsga_result):
+        _, result = nsga_result
+        assert len(result.front) >= 1
+
+    def test_front_is_mutually_nondominated(self, nsga_result):
+        _, result = nsga_result
+        obj = result.objectives()
+        # Minimize makespan, maximize slack.
+        as_min = np.column_stack([obj[:, 0], -obj[:, 1]])
+        assert np.all(pareto_front_mask(as_min))
+
+    def test_front_sorted_by_makespan(self, nsga_result):
+        _, result = nsga_result
+        obj = result.objectives()
+        assert np.all(np.diff(obj[:, 0]) >= 0)
+        # Along a clean front, slack must also increase with makespan.
+        assert np.all(np.diff(obj[:, 1]) >= 0)
+
+    def test_front_schedules_valid(self, nsga_result):
+        problem, result = nsga_result
+        from repro.schedule.evaluation import evaluate
+
+        for ind in result.front:
+            ev = evaluate(ind.schedule)
+            assert np.isclose(ev.makespan, ind.makespan)
+            assert np.isclose(ev.avg_slack, ind.avg_slack)
+
+    def test_heft_seed_anchors_low_makespan(self, nsga_result):
+        problem, result = nsga_result
+        from repro.heuristics.heft import HeftScheduler
+        from repro.schedule.evaluation import expected_makespan
+
+        heft_m = expected_makespan(HeftScheduler().schedule(problem))
+        assert result.objectives()[0, 0] <= heft_m + 1e-9
+
+    def test_best_within_budget(self, nsga_result):
+        _, result = nsga_result
+        obj = result.objectives()
+        budget = float(obj[:, 0].max())
+        best = result.best_within_budget(budget)
+        assert best is not None
+        assert best.avg_slack == pytest.approx(obj[:, 1].max())
+
+    def test_best_within_tiny_budget_none(self, nsga_result):
+        _, result = nsga_result
+        assert result.best_within_budget(1e-6) is None
+
+    def test_reproducible(self):
+        from tests.conftest import make_random_problem
+
+        problem = make_random_problem(8, n=10, m=2)
+        params = GAParams(max_iterations=10, population_size=10)
+        a = Nsga2Scheduler(params, rng=1).run(problem)
+        b = Nsga2Scheduler(params, rng=1).run(problem)
+        assert np.allclose(a.objectives(), b.objectives())

@@ -1,0 +1,171 @@
+"""Unit tests for GA crossover, mutation and selection operators."""
+
+import numpy as np
+import pytest
+
+from repro.ga.chromosome import Chromosome, random_chromosome
+from repro.ga.crossover import (
+    order_crossover,
+    processor_crossover,
+    single_point_crossover,
+)
+from repro.ga.mutation import legal_window, mutate
+from repro.ga.selection import binary_tournament
+from repro.graph.topology import is_topological_order
+from tests.conftest import make_random_problem
+
+
+class TestOrderCrossover:
+    def test_hand_example(self):
+        # Independent tasks: any permutation is topological.
+        a = np.array([0, 1, 2, 3, 4])
+        b = np.array([4, 3, 2, 1, 0])
+        c1, c2 = order_crossover(a, b, 2)
+        # c1: left [0,1]; right {2,3,4} ordered as in b -> [4,3,2].
+        assert c1.tolist() == [0, 1, 4, 3, 2]
+        # c2: left [4,3]; right {2,1,0} ordered as in a -> [0,1,2].
+        assert c2.tolist() == [4, 3, 0, 1, 2]
+
+    def test_children_are_permutations(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a = rng.permutation(8)
+            b = rng.permutation(8)
+            cut = int(rng.integers(1, 8))
+            c1, c2 = order_crossover(a, b, cut)
+            assert sorted(c1.tolist()) == list(range(8))
+            assert sorted(c2.tolist()) == list(range(8))
+
+    def test_preserves_topological_validity(self, small_random_problem):
+        rng = np.random.default_rng(1)
+        g = small_random_problem.graph
+        for _ in range(30):
+            pa = random_chromosome(small_random_problem, rng)
+            pb = random_chromosome(small_random_problem, rng)
+            cut = int(rng.integers(1, g.n))
+            c1, c2 = order_crossover(pa.order, pb.order, cut)
+            assert is_topological_order(g, c1)
+            assert is_topological_order(g, c2)
+
+    @pytest.mark.parametrize("cut", [0, 5])
+    def test_rejects_bad_cut(self, cut):
+        a = np.arange(5)
+        with pytest.raises(ValueError, match="cut"):
+            order_crossover(a, a[::-1].copy(), cut)
+
+
+class TestProcessorCrossover:
+    def test_hand_example(self):
+        a = np.array([0, 0, 0, 0])
+        b = np.array([1, 1, 1, 1])
+        c1, c2 = processor_crossover(a, b, 2)
+        assert c1.tolist() == [0, 0, 1, 1]
+        assert c2.tolist() == [1, 1, 0, 0]
+
+    def test_rejects_bad_cut(self):
+        with pytest.raises(ValueError, match="cut"):
+            processor_crossover(np.zeros(3, int), np.ones(3, int), 3)
+
+
+class TestSinglePointCrossover:
+    def test_children_valid(self, small_random_problem):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            pa = random_chromosome(small_random_problem, rng)
+            pb = random_chromosome(small_random_problem, rng)
+            c1, c2 = single_point_crossover(pa, pb, rng)
+            c1.validate(small_random_problem)
+            c2.validate(small_random_problem)
+
+    def test_single_task_returns_parents(self, single_task_problem):
+        pa = random_chromosome(single_task_problem, 0)
+        pb = random_chromosome(single_task_problem, 1)
+        c1, c2 = single_point_crossover(pa, pb, 2)
+        assert c1 is pa and c2 is pb
+
+    def test_mismatched_parents_raise(self, small_random_problem, diamond_problem):
+        pa = random_chromosome(small_random_problem, 0)
+        pb = random_chromosome(diamond_problem, 0)
+        with pytest.raises(ValueError, match="same number"):
+            single_point_crossover(pa, pb, 0)
+
+
+class TestLegalWindow:
+    def test_diamond_middle_task(self, diamond_problem):
+        order = np.array([0, 1, 2, 3])
+        # Task 1: pred 0 at reduced pos 0 -> lo=1; succ 3 at reduced pos 2 -> hi=2.
+        lo, hi = legal_window(diamond_problem, order, 1)
+        assert (lo, hi) == (1, 2)
+
+    def test_entry_task(self, diamond_problem):
+        order = np.array([0, 1, 2, 3])
+        # Task 0: no preds -> lo=0; succs 1 (reduced 0) and 2 (reduced 1) -> hi=0.
+        lo, hi = legal_window(diamond_problem, order, 0)
+        assert (lo, hi) == (0, 0)
+
+    def test_exit_task(self, diamond_problem):
+        order = np.array([0, 1, 2, 3])
+        # Task 3 depends on 1 and 2 (last reduced pos 2) -> only slot is the end.
+        lo, hi = legal_window(diamond_problem, order, 3)
+        assert (lo, hi) == (3, 3)
+
+    def test_independent_tasks_full_window(self):
+        problem = make_random_problem(0, n=5, m=2)
+        from repro.core.problem import SchedulingProblem
+        from repro.graph.taskgraph import TaskGraph
+
+        g = TaskGraph(4)  # no edges
+        p = SchedulingProblem.deterministic(g, np.ones((4, 2)))
+        lo, hi = legal_window(p, np.array([0, 1, 2, 3]), 2)
+        assert (lo, hi) == (0, 3)
+
+
+class TestMutate:
+    def test_preserves_validity(self, small_random_problem):
+        rng = np.random.default_rng(3)
+        c = random_chromosome(small_random_problem, rng)
+        for _ in range(50):
+            c = mutate(small_random_problem, c, rng)
+            c.validate(small_random_problem)
+
+    def test_changes_something_eventually(self, small_random_problem):
+        rng = np.random.default_rng(4)
+        c = random_chromosome(small_random_problem, rng)
+        changed = any(
+            mutate(small_random_problem, c, rng).key() != c.key() for _ in range(20)
+        )
+        assert changed
+
+    def test_single_task(self, single_task_problem):
+        c = random_chromosome(single_task_problem, 0)
+        m = mutate(single_task_problem, c, 1)
+        m.validate(single_task_problem)
+
+
+class TestBinaryTournament:
+    def test_size_preserved(self):
+        rng = np.random.default_rng(0)
+        for n in (2, 3, 7, 20):
+            idx = binary_tournament(np.arange(n, dtype=float), rng)
+            assert idx.shape == (n,)
+            assert np.all((idx >= 0) & (idx < n))
+
+    def test_best_gets_two_copies_even_population(self):
+        fitness = np.array([1.0, 5.0, 3.0, 2.0])
+        idx = binary_tournament(fitness, 0)
+        assert np.sum(idx == 1) == 2  # systematic: best wins both rounds
+
+    def test_worst_eliminated_even_population(self):
+        fitness = np.array([1.0, 5.0, 3.0, 2.0])
+        idx = binary_tournament(fitness, 1)
+        assert np.sum(idx == 0) == 0
+
+    def test_mean_fitness_improves(self):
+        rng = np.random.default_rng(5)
+        fitness = rng.uniform(0, 1, 30)
+        idx = binary_tournament(fitness, rng)
+        assert fitness[idx].mean() >= fitness.mean()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            binary_tournament(np.array([]), 0)

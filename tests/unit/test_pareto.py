@@ -1,0 +1,110 @@
+"""Unit tests for Pareto utilities."""
+
+import numpy as np
+import pytest
+
+from repro.moop.pareto import (
+    crowding_distance,
+    dominates,
+    non_dominated_sort,
+    pareto_front_mask,
+)
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert dominates([1.0, 2.0], [2.0, 2.0])
+
+    def test_no_self_dominance(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 3.0])
+
+
+class TestParetoFrontMask:
+    def test_simple_front(self):
+        pts = np.array([[1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [3.0, 3.0]])
+        assert pareto_front_mask(pts).tolist() == [True, True, True, False]
+
+    def test_duplicates_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert pareto_front_mask(pts).tolist() == [True, True, False]
+
+    def test_single_point(self):
+        assert pareto_front_mask(np.array([[5.0, 5.0]])).tolist() == [True]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pareto_front_mask(np.array([1.0, 2.0]))
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            pareto_front_mask(np.array([[np.inf, 1.0]]))
+
+
+class TestNonDominatedSort:
+    def test_layered_fronts(self):
+        pts = np.array(
+            [
+                [1.0, 3.0],  # front 0
+                [3.0, 1.0],  # front 0
+                [2.0, 4.0],  # front 1 (dominated by [1,3])
+                [4.0, 2.0],  # front 1
+                [5.0, 5.0],  # front 2
+            ]
+        )
+        fronts = non_dominated_sort(pts)
+        assert [sorted(f.tolist()) for f in fronts] == [[0, 1], [2, 3], [4]]
+
+    def test_all_nondominated(self):
+        pts = np.array([[1.0, 4.0], [2.0, 3.0], [3.0, 2.0], [4.0, 1.0]])
+        fronts = non_dominated_sort(pts)
+        assert len(fronts) == 1
+        assert sorted(fronts[0].tolist()) == [0, 1, 2, 3]
+
+    def test_total_order_chain(self):
+        pts = np.array([[3.0, 3.0], [1.0, 1.0], [2.0, 2.0]])
+        fronts = non_dominated_sort(pts)
+        assert [f.tolist() for f in fronts] == [[1], [2], [0]]
+
+    def test_empty(self):
+        assert non_dominated_sort(np.empty((0, 2))) == []
+
+    def test_partition_property(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, (40, 3))
+        fronts = non_dominated_sort(pts)
+        ids = sorted(i for f in fronts for i in f.tolist())
+        assert ids == list(range(40))
+        # First front matches the mask computation.
+        mask = pareto_front_mask(pts)
+        assert sorted(fronts[0].tolist()) == sorted(np.flatnonzero(mask).tolist())
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite(self):
+        pts = np.array([[1.0, 4.0], [2.0, 3.0], [3.0, 2.0], [4.0, 1.0]])
+        cd = crowding_distance(pts)
+        assert cd[0] == np.inf
+        assert cd[3] == np.inf
+        assert np.isfinite(cd[1]) and np.isfinite(cd[2])
+
+    def test_two_points_infinite(self):
+        cd = crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))
+        assert np.all(np.isinf(cd))
+
+    def test_isolated_point_has_larger_distance(self):
+        # Middle points: one crowded, one isolated.
+        pts = np.array([[0.0, 10.0], [1.0, 9.0], [1.5, 8.5], [10.0, 0.0]])
+        cd = crowding_distance(pts)
+        assert cd[2] > 0  # both finite
+        # Point 1's neighbours straddle a wider gap than point 2's.
+
+    def test_degenerate_objective_ignored(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        cd = crowding_distance(pts)
+        assert cd[0] == np.inf and cd[2] == np.inf
+        assert np.isfinite(cd[1])

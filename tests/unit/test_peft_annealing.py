@@ -1,0 +1,145 @@
+"""Unit tests for the PEFT and simulated-annealing schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.heuristics.annealing import AnnealingParams, AnnealingScheduler
+from repro.heuristics.heft import HeftScheduler
+from repro.heuristics.peft import PeftScheduler, optimistic_cost_table
+from repro.heuristics.random_sched import random_schedule
+from repro.schedule.evaluation import evaluate, expected_makespan
+from tests.conftest import make_random_problem
+
+
+class TestOptimisticCostTable:
+    def test_exit_rows_zero(self, small_random_problem):
+        oct_table = optimistic_cost_table(small_random_problem)
+        for v in small_random_problem.graph.exit_nodes:
+            assert np.all(oct_table[int(v)] == 0.0)
+
+    def test_nonnegative_everywhere(self, small_random_problem):
+        assert np.all(optimistic_cost_table(small_random_problem) >= 0.0)
+
+    def test_hand_computed_chain(self, chain_problem):
+        # Chain 0 -> 1 -> 2 on 2 procs; times [[2,4],[3,1],[2,2]], data 5,
+        # unit rates so avg comm = 5 between distinct procs.
+        oct_table = optimistic_cost_table(chain_problem)
+        # OCT(2, *) = 0. OCT(1, p) = min_q(w(2,q) + [p!=q]*5) = 2.
+        assert oct_table[2].tolist() == [0.0, 0.0]
+        assert oct_table[1].tolist() == [2.0, 2.0]
+        # OCT(0, p) = min_q(OCT(1,q) + w(1,q) + [p!=q]*5)
+        #  p=0: min(2+3, 2+1+5) = 5 ; p=1: min(2+3+5, 2+1) = 3.
+        assert oct_table[0].tolist() == [5.0, 3.0]
+
+    def test_monotone_toward_exits(self, small_random_problem):
+        """Average OCT decreases along edges (it is remaining work)."""
+        oct_table = optimistic_cost_table(small_random_problem)
+        rank = oct_table.mean(axis=1)
+        for u, v, _ in small_random_problem.graph.edges():
+            assert rank[u] > rank[v] - 1e-9
+
+
+class TestPeftScheduler:
+    def test_valid_schedule(self, small_random_problem):
+        s = PeftScheduler().schedule(small_random_problem)
+        assert evaluate(s).makespan > 0
+
+    def test_deterministic(self, small_random_problem):
+        assert PeftScheduler().schedule(small_random_problem) == PeftScheduler().schedule(
+            small_random_problem
+        )
+
+    def test_competitive_with_heft(self):
+        """PEFT should be in HEFT's ballpark (within 50%) on average cases."""
+        ratios = []
+        for seed in range(8):
+            problem = make_random_problem(seed, n=25, m=3)
+            peft_m = expected_makespan(PeftScheduler().schedule(problem))
+            heft_m = expected_makespan(HeftScheduler().schedule(problem))
+            ratios.append(peft_m / heft_m)
+        assert np.mean(ratios) < 1.5
+
+    def test_single_task(self, single_task_problem):
+        s = PeftScheduler().schedule(single_task_problem)
+        assert evaluate(s).makespan == 7.0
+
+
+class TestAnnealingScheduler:
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ValueError, match="objective"):
+            AnnealingScheduler("fitness")
+
+    def test_eps_requires_epsilon(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            AnnealingScheduler("eps-slack")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"initial_temp": 0.0},
+            {"cooling": 1.5},
+            {"restarts": 0},
+        ],
+    )
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnealingParams(**kwargs)
+
+    def test_makespan_annealing_beats_random(self, small_random_problem):
+        params = AnnealingParams(iterations=400, seed_heft=False)
+        sa = AnnealingScheduler("makespan", params=params, rng=0)
+        s = sa.schedule(small_random_problem)
+        rand_m = np.mean(
+            [
+                evaluate(random_schedule(small_random_problem, i)).makespan
+                for i in range(10)
+            ]
+        )
+        assert evaluate(s).makespan < rand_m
+
+    def test_heft_seeded_never_worse_than_heft(self, small_random_problem):
+        params = AnnealingParams(iterations=200, seed_heft=True)
+        sa = AnnealingScheduler("makespan", params=params, rng=1)
+        s = sa.schedule(small_random_problem)
+        heft_m = expected_makespan(HeftScheduler().schedule(small_random_problem))
+        assert evaluate(s).makespan <= heft_m + 1e-9
+
+    def test_slack_objective_increases_slack(self, small_random_problem):
+        params = AnnealingParams(iterations=400, seed_heft=False)
+        best, energy = AnnealingScheduler("slack", params=params, rng=2).run(
+            small_random_problem
+        )
+        start_slack = evaluate(
+            random_schedule(small_random_problem, 0)
+        ).avg_slack
+        assert -energy > 0  # energy is -slack
+        # The annealer should exceed a typical random schedule's slack.
+        assert -energy >= start_slack * 0.5
+
+    def test_eps_slack_respects_bound(self, small_random_problem):
+        params = AnnealingParams(iterations=400, seed_heft=True)
+        sa = AnnealingScheduler("eps-slack", epsilon=1.0, params=params, rng=3)
+        s = sa.schedule(small_random_problem)
+        heft_m = expected_makespan(HeftScheduler().schedule(small_random_problem))
+        assert evaluate(s).makespan <= heft_m * (1 + 1e-9)
+
+    def test_reproducible(self, small_random_problem):
+        params = AnnealingParams(iterations=100)
+        a, ea = AnnealingScheduler("makespan", params=params, rng=7).run(
+            small_random_problem
+        )
+        b, eb = AnnealingScheduler("makespan", params=params, rng=7).run(
+            small_random_problem
+        )
+        assert ea == eb
+        assert a.key() == b.key()
+
+    def test_restarts_help_or_tie(self, small_random_problem):
+        one = AnnealingScheduler(
+            "makespan", params=AnnealingParams(iterations=100, restarts=1), rng=9
+        ).run(small_random_problem)[1]
+        many = AnnealingScheduler(
+            "makespan", params=AnnealingParams(iterations=100, restarts=3), rng=9
+        ).run(small_random_problem)[1]
+        assert many <= one + 1e-9

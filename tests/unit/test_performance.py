@@ -1,0 +1,63 @@
+"""Unit tests for the overall-performance score P(s) (Eqn. 9)."""
+
+import math
+
+import pytest
+
+from repro.robustness.performance import overall_performance
+
+
+class TestOverallPerformance:
+    def test_identical_schedules_score_zero(self):
+        assert overall_performance(100.0, 5.0, 100.0, 5.0, 0.5) == 0.0
+
+    def test_hand_value(self):
+        # r=0.5, M_HEFT/M = 2, R/R_HEFT = 2 -> P = 0.5*ln2 + 0.5*ln2 = ln2.
+        p = overall_performance(50.0, 10.0, 100.0, 5.0, 0.5)
+        assert p == pytest.approx(math.log(2.0))
+
+    def test_r_weight_extremes(self):
+        # r=1: only makespan matters.
+        assert overall_performance(50.0, 1.0, 100.0, 99.0, 1.0) == pytest.approx(
+            math.log(2.0)
+        )
+        # r=0: only robustness matters.
+        assert overall_performance(999.0, 10.0, 100.0, 5.0, 0.0) == pytest.approx(
+            math.log(2.0)
+        )
+
+    def test_shorter_makespan_increases_p(self):
+        base = overall_performance(100.0, 5.0, 100.0, 5.0, 0.7)
+        better = overall_performance(80.0, 5.0, 100.0, 5.0, 0.7)
+        assert better > base
+
+    def test_higher_robustness_increases_p(self):
+        base = overall_performance(100.0, 5.0, 100.0, 5.0, 0.3)
+        better = overall_performance(100.0, 8.0, 100.0, 5.0, 0.3)
+        assert better > base
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            overall_performance(1.0, 1.0, 1.0, 1.0, 1.5)
+
+    def test_rejects_nonpositive_makespan(self):
+        with pytest.raises(ValueError):
+            overall_performance(0.0, 1.0, 1.0, 1.0, 0.5)
+
+    def test_rejects_nonpositive_robustness(self):
+        with pytest.raises(ValueError):
+            overall_performance(1.0, -1.0, 1.0, 1.0, 0.5)
+
+    def test_infinite_robustness_both(self):
+        p = overall_performance(80.0, math.inf, 100.0, math.inf, 0.5)
+        assert p == pytest.approx(0.5 * math.log(100.0 / 80.0))
+
+    def test_infinite_robustness_schedule_only(self):
+        assert overall_performance(100.0, math.inf, 100.0, 5.0, 0.5) == math.inf
+
+    def test_infinite_robustness_reference_only(self):
+        assert overall_performance(100.0, 5.0, 100.0, math.inf, 0.5) == -math.inf
+
+    def test_infinite_robustness_ignored_at_r1(self):
+        p = overall_performance(80.0, math.inf, 100.0, 5.0, 1.0)
+        assert p == pytest.approx(math.log(100.0 / 80.0))

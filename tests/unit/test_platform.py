@@ -1,0 +1,67 @@
+"""Unit tests for :mod:`repro.platform.platform`."""
+
+import numpy as np
+import pytest
+
+from repro.platform.platform import Platform
+
+
+class TestConstruction:
+    def test_default_unit_rates(self):
+        p = Platform(3)
+        assert p.m == 3
+        assert p.comm_time(10.0, 0, 1) == 10.0
+        assert p.comm_time(10.0, 2, 1) == 10.0
+
+    def test_intra_processor_free(self):
+        p = Platform(3)
+        for i in range(3):
+            assert p.comm_time(1e9, i, i) == 0.0
+
+    def test_custom_rates(self):
+        tr = np.array([[1.0, 2.0], [4.0, 1.0]])
+        p = Platform(2, tr)
+        assert p.comm_time(8.0, 0, 1) == 4.0
+        assert p.comm_time(8.0, 1, 0) == 2.0
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Platform(0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            Platform(3, np.ones((2, 2)))
+
+    def test_rejects_nonpositive_offdiagonal(self):
+        tr = np.array([[1.0, 0.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="positive"):
+            Platform(2, tr)
+
+    def test_diagonal_ignored(self):
+        tr = np.array([[0.0, 2.0], [2.0, -5.0]])  # bad diagonal is fine
+        p = Platform(2, tr)
+        assert p.comm_time(4.0, 0, 0) == 0.0
+
+
+class TestCommTimes:
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        tr = rng.uniform(0.5, 2.0, (4, 4))
+        p = Platform(4, tr)
+        data = rng.uniform(0, 10, 20)
+        src = rng.integers(4, size=20)
+        dst = rng.integers(4, size=20)
+        vec = p.comm_times(data, src, dst)
+        scalars = [p.comm_time(d, s, t) for d, s, t in zip(data, src, dst)]
+        assert np.allclose(vec, scalars)
+
+    def test_mean_inverse_rate_unit(self):
+        assert Platform(4).mean_inverse_rate == 1.0
+
+    def test_mean_inverse_rate_single_proc(self):
+        assert Platform(1).mean_inverse_rate == 0.0
+
+    def test_mean_inverse_rate_custom(self):
+        tr = np.array([[1.0, 2.0], [0.5, 1.0]])
+        p = Platform(2, tr)
+        assert np.isclose(p.mean_inverse_rate, (0.5 + 2.0) / 2)

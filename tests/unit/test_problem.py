@@ -1,0 +1,111 @@
+"""Unit tests for :class:`repro.core.problem.SchedulingProblem`."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.core.robust import RobustScheduler
+from repro.ga.engine import GAParams
+from repro.graph.generator import DagParams
+from repro.graph.taskgraph import TaskGraph
+from repro.platform.platform import Platform
+from repro.platform.uncertainty import UncertaintyModel, UncertaintyParams
+
+
+class TestConstruction:
+    def test_dimension_checks(self, diamond_graph):
+        with pytest.raises(ValueError, match="tasks"):
+            SchedulingProblem(
+                graph=diamond_graph,
+                platform=Platform(2),
+                uncertainty=UncertaintyModel.deterministic(np.ones((3, 2))),
+            )
+        with pytest.raises(ValueError, match="processors"):
+            SchedulingProblem(
+                graph=diamond_graph,
+                platform=Platform(3),
+                uncertainty=UncertaintyModel.deterministic(np.ones((4, 2))),
+            )
+
+    def test_accessors(self, diamond_problem):
+        assert diamond_problem.n == 4
+        assert diamond_problem.m == 2
+        assert diamond_problem.expected_times.shape == (4, 2)
+
+
+class TestRandomFactory:
+    def test_reproducible(self):
+        a = SchedulingProblem.random(m=3, rng=5)
+        b = SchedulingProblem.random(m=3, rng=5)
+        assert a.graph == b.graph
+        assert np.array_equal(a.uncertainty.bcet, b.uncertainty.bcet)
+        assert np.array_equal(a.uncertainty.ul, b.uncertainty.ul)
+
+    def test_paper_defaults(self):
+        p = SchedulingProblem.random(rng=0)
+        assert p.n == 100
+        assert p.m == 4
+
+    def test_custom_params(self):
+        p = SchedulingProblem.random(
+            m=2,
+            dag_params=DagParams(n=10, cc=7.0),
+            uncertainty_params=UncertaintyParams(mean_ul=4.0),
+            rng=1,
+        )
+        assert p.n == 10
+        # ETC mu defaults to cc: grand mean of BCET should be near 7.
+        assert 2.0 < p.uncertainty.bcet.mean() < 25.0
+        assert np.all(p.uncertainty.ul >= 1.0)
+
+    def test_expected_times_product(self):
+        p = SchedulingProblem.random(m=2, dag_params=DagParams(n=8), rng=2)
+        assert np.allclose(
+            p.expected_times, p.uncertainty.bcet * p.uncertainty.ul
+        )
+
+
+class TestDeterministicFactory:
+    def test_basic(self, diamond_graph):
+        times = np.ones((4, 3))
+        p = SchedulingProblem.deterministic(diamond_graph, times)
+        assert p.m == 3
+        assert np.array_equal(p.expected_times, times)
+
+    def test_rejects_bad_shape(self, diamond_graph):
+        with pytest.raises(ValueError, match="execution times"):
+            SchedulingProblem.deterministic(diamond_graph, np.ones((3, 2)))
+
+    def test_custom_platform(self, diamond_graph):
+        platform = Platform(2, np.array([[1.0, 4.0], [4.0, 1.0]]))
+        p = SchedulingProblem.deterministic(diamond_graph, np.ones((4, 2)), platform)
+        assert p.platform is platform
+
+
+class TestRobustSchedulerApi:
+    def test_solve_returns_feasible(self, small_random_problem):
+        result = RobustScheduler(
+            epsilon=1.0, params=GAParams(max_iterations=40, stagnation_limit=20), rng=0
+        ).solve(small_random_problem)
+        assert result.feasible
+        assert result.expected_makespan <= result.m_heft * (1 + 1e-9)
+        assert result.avg_slack >= 0
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            RobustScheduler(epsilon=0.0)
+
+    def test_schedule_facade(self, small_random_problem):
+        s = RobustScheduler(
+            epsilon=1.5, params=GAParams(max_iterations=10), rng=1
+        ).schedule(small_random_problem)
+        from repro.schedule.evaluation import evaluate
+
+        assert evaluate(s).makespan > 0
+
+    def test_ga_result_exposed(self, small_random_problem):
+        result = RobustScheduler(
+            epsilon=1.2, params=GAParams(max_iterations=10), rng=2
+        ).solve(small_random_problem)
+        assert result.ga_result.generations >= 1
+        assert result.epsilon == 1.2

@@ -1,0 +1,89 @@
+"""Unit tests for CSV result export."""
+
+import csv
+import io
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    run_best_eps,
+    run_eps_grid,
+    run_eps_one,
+    run_eps_sweep,
+    run_slack_effect,
+)
+from repro.experiments.config import SCALES
+from repro.experiments.reporting import (
+    best_eps_csv,
+    eps_one_csv,
+    eps_sweep_csv,
+    grid_csv,
+    sensitivity_csv,
+    slack_effect_csv,
+    write_csv,
+)
+from repro.experiments.sensitivity import run_sensitivity
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return ExperimentConfig(scale=SCALES["smoke"], seed=21)
+
+
+@pytest.fixture(scope="module")
+def grid(cfg):
+    return run_eps_grid(cfg, (2.0,), (1.0, 1.5))
+
+
+def _parse(text: str) -> list[dict]:
+    return list(csv.DictReader(io.StringIO(text)))
+
+
+class TestCsvWriters:
+    def test_slack_effect_csv(self, cfg):
+        result = run_slack_effect(cfg, "slack", (2.0,), n_steps=3)
+        rows = _parse(slack_effect_csv(result))
+        # 1 UL x 3 steps x 3 metrics.
+        assert len(rows) == 9
+        assert {r["metric"] for r in rows} == {"makespan", "slack", "r1"}
+        assert all(r["objective"] == "slack" for r in rows)
+
+    def test_eps_one_csv(self, cfg, grid):
+        result = run_eps_one(cfg, (2.0,), grid=grid)
+        rows = _parse(eps_one_csv(result))
+        assert len(rows) == 3
+        assert {r["metric"] for r in rows} == {"makespan", "r1", "r2"}
+
+    def test_eps_sweep_csv(self, cfg, grid):
+        result = run_eps_sweep(cfg, (2.0,), (1.0, 1.5), grid=grid)
+        rows = _parse(eps_sweep_csv(result))
+        # 1 UL x 1 swept eps x 2 metrics.
+        assert len(rows) == 2
+        assert all(r["eps"] == "1.5" for r in rows)
+
+    def test_best_eps_csv(self, cfg, grid):
+        result = run_best_eps(cfg, (2.0,), (1.0, 1.5), r_grid=(0.0, 1.0), grid=grid)
+        rows = _parse(best_eps_csv(result))
+        assert len(rows) == 4
+        best = {(r["r"], r["robustness"]): float(r["best_eps"]) for r in rows}
+        assert best[("1.0", "r1")] == 1.0  # r=1 always picks min eps
+
+    def test_grid_csv(self, cfg, grid):
+        rows = _parse(grid_csv(grid))
+        assert len(rows) == 2 * cfg.scale.n_graphs  # 2 eps cells
+        for row in rows:
+            assert float(row["ga_m0"]) > 0
+            assert 0.0 <= float(row["ga_miss_rate"]) <= 1.0
+
+    def test_sensitivity_csv(self, cfg):
+        result = run_sensitivity(cfg, "m", (2, 3), mean_ul=2.0)
+        rows = _parse(sensitivity_csv(result))
+        assert len(rows) == 6
+        assert {r["parameter"] for r in rows} == {"m"}
+
+    def test_write_csv(self, tmp_path, cfg, grid):
+        path = tmp_path / "grid.csv"
+        write_csv(grid_csv(grid), path)
+        assert path.exists()
+        assert _parse(path.read_text())

@@ -1,0 +1,96 @@
+"""Unit tests for bootstrap CIs and convergence profiles."""
+
+import numpy as np
+import pytest
+
+from repro.robustness.analysis import bootstrap_robustness, convergence_profile
+from repro.schedule.schedule import Schedule
+
+
+@pytest.fixture
+def uncertain_schedule(uncertain_diamond):
+    return Schedule(uncertain_diamond, [[0, 1], [2, 3]])
+
+
+class TestBootstrapRobustness:
+    @pytest.fixture(scope="class")
+    def sample(self):
+        rng = np.random.default_rng(0)
+        return 100.0 + rng.uniform(-10, 30, 500)
+
+    def test_estimates_inside_intervals(self, sample):
+        cis = bootstrap_robustness(sample, 100.0, rng=1)
+        for name, ci in cis.items():
+            assert ci.lower <= ci.estimate <= ci.upper, name
+
+    def test_keys_complete(self, sample):
+        cis = bootstrap_robustness(sample, 100.0, rng=2)
+        assert set(cis) == {"r1", "r2", "miss_rate", "mean_tardiness"}
+
+    def test_confidence_controls_width(self, sample):
+        narrow = bootstrap_robustness(sample, 100.0, confidence=0.5, rng=3)
+        wide = bootstrap_robustness(sample, 100.0, confidence=0.99, rng=3)
+        assert wide["miss_rate"].width >= narrow["miss_rate"].width
+
+    def test_more_data_tightens_interval(self):
+        rng = np.random.default_rng(4)
+        small = 100.0 + rng.uniform(-10, 30, 50)
+        large = 100.0 + rng.uniform(-10, 30, 5000)
+        ci_small = bootstrap_robustness(small, 100.0, rng=5)["mean_tardiness"]
+        ci_large = bootstrap_robustness(large, 100.0, rng=5)["mean_tardiness"]
+        assert ci_large.width < ci_small.width
+
+    def test_never_tardy_gives_inf(self):
+        sample = np.full(100, 50.0)  # always below expectation
+        cis = bootstrap_robustness(sample, 100.0, rng=6)
+        assert cis["r1"].estimate == np.inf
+        assert cis["r2"].estimate == np.inf
+
+    def test_validation(self, sample):
+        with pytest.raises(ValueError):
+            bootstrap_robustness(np.array([1.0]), 100.0)
+        with pytest.raises(ValueError):
+            bootstrap_robustness(sample, 100.0, confidence=1.0)
+        with pytest.raises(ValueError):
+            bootstrap_robustness(sample, 100.0, n_boot=2)
+
+    def test_reproducible(self, sample):
+        a = bootstrap_robustness(sample, 100.0, rng=9)
+        b = bootstrap_robustness(sample, 100.0, rng=9)
+        assert a["r1"].lower == b["r1"].lower
+
+
+class TestConvergenceProfile:
+    def test_nested_sizes(self, uncertain_schedule):
+        profile = convergence_profile(uncertain_schedule, (50, 100, 200), rng=0)
+        assert sorted(profile) == [50, 100, 200]
+        for metrics in profile.values():
+            assert set(metrics) == {
+                "mean_makespan",
+                "mean_tardiness",
+                "miss_rate",
+                "r1",
+                "r2",
+            }
+
+    def test_nested_samples_share_prefix(self, uncertain_schedule):
+        """Same rng: the N=50 estimate is the prefix of the N=200 run."""
+        a = convergence_profile(uncertain_schedule, (50,), rng=1)
+        b = convergence_profile(uncertain_schedule, (50, 200), rng=1)
+        assert a[50]["mean_makespan"] == b[50]["mean_makespan"]
+
+    def test_estimates_converge(self, uncertain_schedule):
+        profile = convergence_profile(
+            uncertain_schedule, (100, 5000, 20000), rng=2
+        )
+        # Larger samples approach the biggest sample's estimate.
+        big = profile[20000]["mean_tardiness"]
+        err_small = abs(profile[100]["mean_tardiness"] - big)
+        err_mid = abs(profile[5000]["mean_tardiness"] - big)
+        assert err_mid <= err_small + 1e-12
+
+    def test_rejects_bad_sizes(self, uncertain_schedule):
+        with pytest.raises(ValueError):
+            convergence_profile(uncertain_schedule, ())
+        with pytest.raises(ValueError):
+            convergence_profile(uncertain_schedule, (0, 10))

@@ -1,0 +1,135 @@
+"""Unit tests for :class:`repro.schedule.schedule.Schedule`."""
+
+import numpy as np
+import pytest
+
+from repro.schedule.schedule import Schedule
+
+
+class TestConstruction:
+    def test_basic(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        assert s.proc_of.tolist() == [0, 0, 1, 1]
+        assert s.rank_on_proc.tolist() == [0, 1, 0, 1]
+
+    def test_empty_processor_allowed(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1, 2, 3], []])
+        assert s.proc_of.tolist() == [0, 0, 0, 0]
+        assert len(s.proc_orders[1]) == 0
+
+    def test_rejects_wrong_processor_count(self, diamond_problem):
+        with pytest.raises(ValueError, match="processor orders"):
+            Schedule(diamond_problem, [[0, 1, 2, 3]])
+
+    def test_rejects_missing_task(self, diamond_problem):
+        with pytest.raises(ValueError, match="not assigned"):
+            Schedule(diamond_problem, [[0, 1], [2]])
+
+    def test_rejects_duplicate_task(self, diamond_problem):
+        with pytest.raises(ValueError, match="more than one"):
+            Schedule(diamond_problem, [[0, 1, 2], [2, 3]])
+
+    def test_rejects_out_of_range_task(self, diamond_problem):
+        with pytest.raises(ValueError, match="out of range"):
+            Schedule(diamond_problem, [[0, 1, 7], [2, 3]])
+
+    def test_rejects_precedence_violating_order(self, diamond_problem):
+        # 3 before its predecessor 1 on the same processor -> cyclic G_s.
+        with pytest.raises(ValueError, match="invalid schedule"):
+            Schedule(diamond_problem, [[0, 3, 1], [2]])
+
+    def test_rejects_cross_processor_cycle(self, chain_problem):
+        # P0 runs 2 before 0; chain edges 2->0 plus DAG 0->1->2 -> cycle.
+        with pytest.raises(ValueError, match="invalid schedule"):
+            Schedule(chain_problem, [[2, 0], [1]])
+
+
+class TestDisjunctiveGraph:
+    def test_no_extra_edges_when_chains_in_dag(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        # (0,1) and (2,3) are DAG edges, so G_s == G structurally.
+        assert s.disjunctive.edge_src.shape[0] == 4
+
+    def test_chain_edge_added(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0], [1, 2, 3]])
+        # chain edges (1,2) added; (2,3) already DAG.
+        assert s.disjunctive.edge_src.shape[0] == 5
+        pairs = set(zip(s.disjunctive.edge_src.tolist(), s.disjunctive.edge_dst.tolist()))
+        assert (1, 2) in pairs
+
+    def test_same_proc_comm_zeroed(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        # Edge order canonical: (0,1),(0,2),(1,3),(2,3).
+        assert s.comm_weights.tolist() == [0.0, 20.0, 10.0, 0.0]
+
+    def test_chain_edges_zero_weight(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0], [1, 2, 3]])
+        assert s.comm_weights[-1] == 0.0  # the appended chain edge
+
+    def test_all_on_one_processor_no_comm(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1, 2, 3], []])
+        assert np.all(s.comm_weights == 0.0)
+
+
+class TestFromAssignment:
+    def test_roundtrip(self, diamond_problem):
+        order = np.array([0, 2, 1, 3])
+        proc_of = np.array([0, 0, 1, 1])
+        s = Schedule.from_assignment(diamond_problem, order, proc_of)
+        assert s.proc_orders[0].tolist() == [0, 1]
+        assert s.proc_orders[1].tolist() == [2, 3]
+
+    def test_order_respected_within_processor(self, diamond_problem):
+        order = np.array([0, 2, 1, 3])
+        proc_of = np.array([0, 1, 1, 1])
+        s = Schedule.from_assignment(diamond_problem, order, proc_of)
+        assert s.proc_orders[1].tolist() == [2, 1, 3]
+
+    def test_rejects_bad_proc(self, diamond_problem):
+        with pytest.raises(ValueError, match="out of range"):
+            Schedule.from_assignment(
+                diamond_problem, np.array([0, 1, 2, 3]), np.array([0, 0, 0, 5])
+            )
+
+    def test_rejects_wrong_order_length(self, diamond_problem):
+        with pytest.raises(ValueError, match="permutation"):
+            Schedule.from_assignment(
+                diamond_problem, np.array([0, 1, 2]), np.array([0, 0, 0, 0])
+            )
+
+
+class TestHelpers:
+    def test_expected_durations(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        assert s.expected_durations().tolist() == [2.0, 4.0, 4.0, 3.0]
+
+    def test_linear_order_is_topo_of_gs(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0], [1, 2, 3]])
+        order = s.linear_order()
+        pos = {int(v): i for i, v in enumerate(order)}
+        for u, v in zip(s.disjunctive.edge_src, s.disjunctive.edge_dst):
+            assert pos[int(u)] < pos[int(v)]
+
+    def test_as_pairs_paper_notation(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        assert s.as_pairs() == [[(0, 1)], [(2, 3)]]
+
+    def test_as_pairs_empty_and_singleton(self, diamond_problem):
+        s = Schedule(diamond_problem, [[0, 1, 2, 3], []])
+        assert s.as_pairs() == [[(0, 1), (1, 2), (2, 3)], []]
+
+    def test_realize_durations_shape(self, uncertain_diamond):
+        s = Schedule(uncertain_diamond, [[0, 1], [2, 3]])
+        durs = s.realize_durations(50, rng=0)
+        assert durs.shape == (50, 4)
+        low = uncertain_diamond.uncertainty.bcet[np.arange(4), s.proc_of]
+        assert np.all(durs >= low)
+
+    def test_equality(self, diamond_problem):
+        a = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        b = Schedule(diamond_problem, [[0, 1], [2, 3]])
+        c = Schedule(diamond_problem, [[0], [1, 2, 3]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a schedule"

@@ -1,0 +1,87 @@
+"""Unit tests for the transfer-rate generator and GA diversity tracking."""
+
+import numpy as np
+import pytest
+
+from repro.ga.engine import GAParams, GeneticScheduler
+from repro.ga.fitness import SlackFitness
+from repro.platform.platform import Platform
+from repro.platform.trgen import generate_transfer_rates
+
+
+class TestGenerateTransferRates:
+    def test_shape_and_diagonal(self):
+        tr = generate_transfer_rates(4, rng=0)
+        assert tr.shape == (4, 4)
+        assert np.all(np.diag(tr) == 1.0)
+
+    def test_symmetric_default(self):
+        tr = generate_transfer_rates(5, rng=1)
+        assert np.allclose(tr, tr.T)
+
+    def test_asymmetric_option(self):
+        tr = generate_transfer_rates(5, rng=2, symmetric=False)
+        off = ~np.eye(5, dtype=bool)
+        assert not np.allclose(tr[off], tr.T[off])
+
+    def test_positive_rates(self):
+        tr = generate_transfer_rates(6, mean_rate=2.0, v_link=1.0, rng=3)
+        assert np.all(tr > 0)
+
+    def test_mean_tracks_target(self):
+        tr = generate_transfer_rates(40, mean_rate=3.0, v_link=0.3, rng=4)
+        off = ~np.eye(40, dtype=bool)
+        assert abs(tr[off].mean() - 3.0) / 3.0 < 0.1
+
+    def test_usable_by_platform(self):
+        tr = generate_transfer_rates(3, rng=5)
+        platform = Platform(3, tr)
+        assert platform.comm_time(1.0, 0, 1) > 0
+        assert platform.comm_time(1.0, 1, 1) == 0.0
+
+    def test_single_processor(self):
+        tr = generate_transfer_rates(1, rng=6)
+        assert tr.shape == (1, 1)
+        Platform(1, tr)  # must construct
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"m": 0}, {"m": 3, "mean_rate": 0}, {"m": 3, "v_link": -1}]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_transfer_rates(**kwargs)
+
+    def test_reproducible(self):
+        a = generate_transfer_rates(4, rng=9)
+        b = generate_transfer_rates(4, rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestDiversityTracking:
+    def test_diversity_recorded_per_generation(self, small_random_problem):
+        engine = GeneticScheduler(
+            SlackFitness(), GAParams(max_iterations=8), rng=0
+        )
+        result = engine.run(small_random_problem)
+        div = result.history.diversity
+        assert len(div) == len(result.history)
+        assert all(0.0 < d <= 1.0 for d in div)
+
+    def test_initial_population_fully_diverse(self, small_random_problem):
+        """Uniqueness check (Sec. 4.2.2): generation 0 diversity is 1.0."""
+        engine = GeneticScheduler(
+            SlackFitness(), GAParams(max_iterations=2), rng=1
+        )
+        result = engine.run(small_random_problem)
+        assert result.history.diversity[0] == 1.0
+
+    def test_tiny_search_space_collapses(self, single_task_problem):
+        """On a 1-task/2-proc problem only 2 chromosomes exist, so the
+        population (size 5) cannot stay fully diverse."""
+        engine = GeneticScheduler(
+            SlackFitness(),
+            GAParams(population_size=5, max_iterations=3),
+            rng=2,
+        )
+        result = engine.run(single_task_problem)
+        assert result.history.diversity[-1] <= 2 / 5

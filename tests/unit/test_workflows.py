@@ -1,0 +1,179 @@
+"""Unit tests for the structured workflow generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import dag_levels
+from repro.graph.workflows import (
+    fft,
+    fork_join,
+    gaussian_elimination,
+    in_tree,
+    laplace,
+    out_tree,
+    pipeline,
+)
+
+
+class TestGaussianElimination:
+    def test_task_count(self):
+        # (m^2 + m - 2) / 2 tasks.
+        for m in (2, 3, 5, 8):
+            g = gaussian_elimination(m)
+            assert g.n == (m * m + m - 2) // 2
+
+    def test_smallest_instance(self):
+        g = gaussian_elimination(2)
+        # One pivot feeding one update.
+        assert g.n == 2
+        assert list(g.edges()) == [(0, 1, 1.0)]
+
+    def test_structure_m3(self):
+        g = gaussian_elimination(3)
+        # Tasks: T11, T12, T13, T22, T23 -> ids 0..4.
+        assert g.n == 5
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)  # pivot 1 -> updates
+        assert g.has_edge(1, 3)  # T12 -> T22 (next pivot)
+        assert g.has_edge(2, 4)  # T13 -> T23
+        assert g.has_edge(3, 4)  # pivot 2 -> its update
+
+    def test_single_entry_single_exit(self):
+        g = gaussian_elimination(6)
+        assert g.entry_nodes.size == 1
+        assert g.exit_nodes.size == 1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            gaussian_elimination(1)
+
+
+class TestFft:
+    def test_task_count(self):
+        # Call tree (p - 1) + butterflies p * (log2 p + 1).
+        for p in (2, 4, 8):
+            g = fft(p)
+            import math
+
+            levels = int(math.log2(p))
+            assert g.n == (p - 1) + p * (levels + 1)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft(6)
+        with pytest.raises(ValueError):
+            fft(1)
+
+    def test_single_entry(self):
+        g = fft(8)
+        assert g.entry_nodes.size == 1
+
+    def test_exit_count_is_p(self):
+        g = fft(4)
+        assert g.exit_nodes.size == 4
+
+    def test_butterfly_depth(self):
+        g = fft(8)
+        # Longest path: tree depth (log2 p - 1 edges) + leaf->row0 +
+        # levels butterfly hops = 2 * log2(p) levels total.
+        assert dag_levels(g).max() == 2 * 3
+
+
+class TestForkJoin:
+    def test_counts(self):
+        g = fork_join(3, 4)
+        assert g.n == 3 * (4 + 2)
+        assert g.entry_nodes.size == 1
+        assert g.exit_nodes.size == 1
+
+    def test_stage_chaining(self):
+        g = fork_join(2, 2)
+        levels = dag_levels(g)
+        assert levels.max() == 5  # fork,work,join,fork,work,join
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            fork_join(0, 2)
+
+
+class TestPipeline:
+    def test_counts(self):
+        g = pipeline(4, 3)
+        assert g.n == 12
+
+    def test_stencil_dependencies(self):
+        g = pipeline(2, 3)
+        # (1, 1) = id 4 depends on (0, 1) = 1 and (0, 0) = 0.
+        assert g.has_edge(1, 4)
+        assert g.has_edge(0, 4)
+        assert not g.has_edge(2, 4)
+
+    def test_levels_equal_depth(self):
+        g = pipeline(5, 2)
+        assert dag_levels(g).max() == 4
+
+
+class TestLaplace:
+    def test_diamond_counts(self):
+        # size s -> s^2 tasks (sum 1..s..1).
+        for s in (1, 2, 4):
+            assert laplace(s).n == s * s
+
+    def test_single_entry_exit(self):
+        g = laplace(3)
+        assert g.entry_nodes.size == 1
+        assert g.exit_nodes.size == 1
+
+    def test_depth(self):
+        g = laplace(3)
+        assert dag_levels(g).max() == 4  # 2s - 2 rows below the root
+
+
+class TestTrees:
+    def test_out_tree_counts(self):
+        g = out_tree(3, 2)
+        assert g.n == 7
+        assert g.entry_nodes.size == 1
+        assert g.exit_nodes.size == 4
+
+    def test_in_tree_mirrors_out_tree(self):
+        g = in_tree(3, 2)
+        assert g.n == 7
+        assert g.entry_nodes.size == 4
+        assert g.exit_nodes.size == 1
+
+    def test_fanout(self):
+        g = out_tree(2, 3)
+        assert g.n == 4
+        assert g.out_degree()[0] == 3
+
+    def test_data_size_applied(self):
+        g = out_tree(2, 2, data_size=7.5)
+        assert np.all(g.edge_data == 7.5)
+
+
+class TestAllSchedulable:
+    """Every generated workflow must be schedulable end-to-end."""
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: gaussian_elimination(5),
+            lambda: fft(8),
+            lambda: fork_join(3, 4),
+            lambda: pipeline(4, 4),
+            lambda: laplace(4),
+            lambda: out_tree(4),
+            lambda: in_tree(4),
+        ],
+    )
+    def test_heft_schedules_it(self, graph_factory):
+        from repro.core.problem import SchedulingProblem
+        from repro.heuristics.heft import HeftScheduler
+        from repro.schedule.evaluation import evaluate
+
+        graph = graph_factory()
+        rng = np.random.default_rng(0)
+        times = rng.uniform(1.0, 10.0, size=(graph.n, 3))
+        problem = SchedulingProblem.deterministic(graph, times)
+        schedule = HeftScheduler().schedule(problem)
+        assert evaluate(schedule).makespan > 0
