@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Benchmark the library's hot kernels and record median timings.
+
+Runs the same five kernels as ``benchmarks/test_perf_kernels.py`` — schedule
+construction, static evaluation, 1000-realization batch makespans, HEFT on a
+100-task instance, and one full GA generation — without requiring
+pytest-benchmark, and writes the medians to ``BENCH_kernels.json`` at the
+repository root.  The file establishes the performance trajectory across
+PRs: run the script before and after touching anything on the evaluation
+path and compare the medians.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernels.py            # write JSON
+    PYTHONPATH=src python scripts/bench_kernels.py --no-write # print only
+
+Timings are wall-clock medians over enough rounds to fill a time budget per
+kernel, so occasional scheduler noise does not skew the record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.ga.engine import GAParams, GeneticScheduler
+from repro.ga.fitness import SlackFitness
+from repro.graph import _native
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.platform.uncertainty import UncertaintyParams
+from repro.schedule.evaluation import batch_makespans, evaluate
+from repro.schedule.schedule import Schedule
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _median_ms(fn, *, budget_s: float = 2.0, min_rounds: int = 5) -> tuple[float, int]:
+    """Median wall-clock milliseconds of ``fn()`` over a time budget."""
+    fn()  # warm caches, lazy structures, and the optional native kernel
+    times: list[float] = []
+    t_stop = time.perf_counter() + budget_s
+    while len(times) < min_rounds or time.perf_counter() < t_stop:
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+        if len(times) >= 10_000:
+            break
+    times.sort()
+    return times[len(times) // 2] * 1e3, len(times)
+
+
+def build_kernels() -> dict:
+    """The five benchmark kernels on the paper-sized instance (rng pinned)."""
+    problem = SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=100),
+        uncertainty_params=UncertaintyParams(mean_ul=2.0),
+        rng=0,
+    )
+    schedule = HeftScheduler().schedule(problem)
+    orders = [list(t) for t in schedule.proc_orders]
+    expected = schedule.expected_durations()
+    durations = schedule.realize_durations(1000, rng=1)
+    ga_params = GAParams(max_iterations=1, stagnation_limit=100)
+
+    return {
+        "schedule_construction": lambda: Schedule(problem, orders),
+        "static_evaluation": lambda: evaluate(schedule, expected),
+        "batch_makespans_1000": lambda: batch_makespans(schedule, durations),
+        "heft_100_tasks": lambda: HeftScheduler().schedule(problem),
+        "ga_generation": lambda: GeneticScheduler(
+            SlackFitness(), ga_params, rng=2
+        ).run(problem),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print timings without updating BENCH_kernels.json",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="per-kernel time budget in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_kernels.json",
+        help="output path (default: BENCH_kernels.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = build_kernels()
+    results = {}
+    for name, fn in kernels.items():
+        median, rounds = _median_ms(fn, budget_s=args.budget)
+        results[name] = {"median_ms": round(median, 4), "rounds": rounds}
+        print(f"{name:24s} {median:10.3f} ms   ({rounds} rounds)")
+
+    record = {
+        "kernels": results,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "native_kernel": _native.get_lib() is not None,
+        },
+    }
+    if not args.no_write:
+        # Preserve extra top-level sections (e.g. the recorded seed
+        # baseline) so re-running the script never loses history.
+        if args.output.exists():
+            try:
+                previous = json.loads(args.output.read_text())
+            except (OSError, ValueError):
+                previous = {}
+            for key, value in previous.items():
+                record.setdefault(key, value)
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -209,11 +209,17 @@ class GeneticScheduler:
                 np.arange(problem.n), schedule.proc_of
             ]
             ev = evaluate(schedule, durations)
+        # Policies that never read slack (uses_slack = False) keep it
+        # deferred: the backward kernel pass then only runs for the few
+        # individuals whose slack is actually inspected (e.g. the
+        # per-generation incumbent recorded in the history).
+        uses_slack = getattr(self.fitness, "uses_slack", True)
         ind = Individual(
             chromosome=chromosome,
             schedule=schedule,
             makespan=ev.makespan,
-            avg_slack=ev.avg_slack,
+            avg_slack=ev.avg_slack if uses_slack else None,
+            evaluation=ev,
         )
         cache[key] = ind
         return ind

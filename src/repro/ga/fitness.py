@@ -19,7 +19,6 @@ extension (paper Sec. 6 future work).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -38,25 +37,61 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class Individual:
     """A chromosome with its decoded schedule and static metrics.
 
     ``makespan`` and ``avg_slack`` are computed under the engine's duration
     view (expected durations by default; a quantile view in the extension).
+    ``avg_slack`` may be deferred: when constructed with
+    ``avg_slack=None`` and an ``evaluation``, the backward (bottom-level)
+    kernel pass runs only if slack is actually read — makespan-only
+    fitness policies (``uses_slack = False``) never pay for it.
     """
 
-    chromosome: Chromosome
-    schedule: Schedule
-    makespan: float
-    avg_slack: float
+    __slots__ = ("chromosome", "schedule", "makespan", "_avg_slack", "_evaluation")
+
+    def __init__(
+        self,
+        chromosome: Chromosome,
+        schedule: Schedule,
+        makespan: float,
+        avg_slack: float | None = None,
+        *,
+        evaluation=None,
+    ) -> None:
+        self.chromosome = chromosome
+        self.schedule = schedule
+        self.makespan = float(makespan)
+        self._avg_slack = None if avg_slack is None else float(avg_slack)
+        self._evaluation = evaluation
+
+    @property
+    def avg_slack(self) -> float:
+        """Average slack ``σ̄``; runs the deferred backward pass if needed."""
+        if self._avg_slack is None:
+            if self._evaluation is None:
+                raise AttributeError(
+                    "avg_slack was deferred but no evaluation is attached"
+                )
+            self._avg_slack = float(self._evaluation.avg_slack)
+        return self._avg_slack
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Individual(makespan={self.makespan:g})"
 
 
 @runtime_checkable
 class FitnessPolicy(Protocol):
-    """Population-based fitness: metrics in, scores out (larger = fitter)."""
+    """Population-based fitness: metrics in, scores out (larger = fitter).
+
+    ``uses_slack`` advertises whether :meth:`scores` reads
+    ``Individual.avg_slack``; the GA engine defers the bottom-level kernel
+    pass for policies that declare ``False`` (treated as ``True`` when
+    absent).
+    """
 
     name: str
+    uses_slack: bool
 
     def scores(self, population: Sequence[Individual]) -> np.ndarray:
         """Fitness of every individual in *population*."""
@@ -67,6 +102,7 @@ class MakespanFitness:
     """Reciprocal expected makespan — the classic single-objective GA (Fig. 2)."""
 
     name = "makespan"
+    uses_slack = False
 
     def scores(self, population: Sequence[Individual]) -> np.ndarray:
         """``1 / M_0`` per individual."""
@@ -77,6 +113,7 @@ class SlackFitness:
     """Average slack — the robustness-only objective (Fig. 3)."""
 
     name = "slack"
+    uses_slack = True
 
     def scores(self, population: Sequence[Individual]) -> np.ndarray:
         """``σ̄`` per individual."""
@@ -109,6 +146,8 @@ class EpsilonConstraintFitness:
       violation form is used instead, preserving strict dominance of the
       feasible set and ordering among the infeasible.
     """
+
+    uses_slack = True
 
     def __init__(self, epsilon: float, m_heft: float) -> None:
         if epsilon <= 0:

@@ -73,6 +73,9 @@ class TaskGraph:
         "_topo",
         "_entry",
         "_exit",
+        "_dag",
+        "_edge_keys",
+        "_succ_lists",
     )
 
     def __init__(
@@ -122,6 +125,9 @@ class TaskGraph:
         self._pred_indptr, self._pred_eidx = _build_csr(n, self.edge_dst, pred_order)
 
         self._topo = self._kahn_topological_order()
+        self._dag = None  # lazily filled by ArrayDag.from_taskgraph
+        self._edge_keys = None  # lazily filled by edge_keys
+        self._succ_lists = None  # lazily filled by successor_lists
 
         indeg = np.bincount(self.edge_dst, minlength=n)
         outdeg = np.bincount(self.edge_src, minlength=n)
@@ -216,6 +222,21 @@ class TaskGraph:
         """A canonical (deterministic) topological order of the tasks."""
         return self._topo
 
+    @property
+    def edge_keys(self) -> np.ndarray:
+        """Sorted ``src * n + dst`` key of every edge (canonical order).
+
+        The canonical edge order is lexicographic in ``(src, dst)``, so the
+        keys come out already sorted; :class:`~repro.schedule.schedule.Schedule`
+        uses them for vectorized membership tests (chain-edge dedup) via
+        :func:`numpy.searchsorted`.  Computed once per graph.
+        """
+        if self._edge_keys is None:
+            keys = self.edge_src * np.int64(self.n) + self.edge_dst
+            keys.setflags(write=False)
+            self._edge_keys = keys
+        return self._edge_keys
+
     def successor_edge_indices(self, v: int) -> np.ndarray:
         """Indices into the edge arrays of edges leaving *v*."""
         return self._succ_eidx[self._succ_indptr[v] : self._succ_indptr[v + 1]]
@@ -231,6 +252,22 @@ class TaskGraph:
     def predecessors(self, v: int) -> np.ndarray:
         """Immediate predecessors of task *v*."""
         return self.edge_src[self.predecessor_edge_indices(v)]
+
+    def successor_lists(self) -> list[list[int]]:
+        """Per-task successor ids as plain Python lists (cached).
+
+        ``successor_lists()[v]`` holds the same ids in the same order as
+        :meth:`successors`, but as Python ints.  Scalar graph walks (the
+        GA's randomized topological sorts run thousands per optimization)
+        iterate these lists several times faster than numpy slices.
+        Callers must not mutate the returned lists.
+        """
+        if self._succ_lists is None:
+            succ: list[list[int]] = [[] for _ in range(self.n)]
+            for u, v in zip(self.edge_src.tolist(), self.edge_dst.tolist()):
+                succ[u].append(v)
+            self._succ_lists = succ
+        return self._succ_lists
 
     def in_degree(self) -> np.ndarray:
         """In-degree of every task."""

@@ -53,37 +53,49 @@ def random_topological_order(
     """
     gen = as_generator(rng)
     n = graph.n
-    indeg = graph.in_degree().astype(np.int64).copy()
-    ready = list(map(int, np.flatnonzero(indeg == 0)))
-    order = np.empty(n, dtype=np.int64)
-    for k in range(n):
+    # Scalar bookkeeping stays in plain Python containers: the cached
+    # successor lists and a list-typed in-degree counter avoid a numpy
+    # scalar round-trip per visited edge.  The ready list evolves exactly
+    # as it did with numpy slices (same contents, same order), so seeded
+    # draw sequences — and therefore GA trajectories — are unchanged.
+    succ = graph.successor_lists()
+    indeg = graph.in_degree().tolist()
+    ready = [v for v in range(n) if not indeg[v]]
+    order: list[int] = []
+    integers = gen.integers
+    for _ in range(n):
         if not ready:
             raise ValueError("task graph contains a cycle")
-        pick = int(gen.integers(len(ready)))
+        pick = int(integers(len(ready)))
         # Swap-pop keeps the draw O(1).
         ready[pick], ready[-1] = ready[-1], ready[pick]
         v = ready.pop()
-        order[k] = v
-        for w in graph.successors(v):
-            w = int(w)
-            indeg[w] -= 1
-            if indeg[w] == 0:
+        order.append(v)
+        for w in succ[v]:
+            d = indeg[w] - 1
+            indeg[w] = d
+            if not d:
                 ready.append(w)
-    return order
+    return np.array(order, dtype=np.int64)
 
 
 def is_topological_order(graph: TaskGraph, order: np.ndarray) -> bool:
-    """Check that *order* is a permutation of tasks respecting all edges."""
+    """Check that *order* is a permutation of tasks respecting all edges.
+
+    Fully vectorized: bounds and bijectivity via :func:`numpy.bincount`,
+    the precedence check by comparing inverse-permutation positions across
+    the edge arrays — no Python-level loop over positions.
+    """
     order = np.asarray(order, dtype=np.int64)
-    if order.shape != (graph.n,):
+    n = graph.n
+    if order.shape != (n,):
         return False
-    position = np.empty(graph.n, dtype=np.int64)
-    seen = np.zeros(graph.n, dtype=bool)
-    for pos, v in enumerate(order):
-        if v < 0 or v >= graph.n or seen[v]:
-            return False
-        seen[v] = True
-        position[v] = pos
+    if order.min() < 0 or order.max() >= n:
+        return False
+    if np.any(np.bincount(order, minlength=n) != 1):
+        return False
+    position = np.empty(n, dtype=np.int64)
+    position[order] = np.arange(n, dtype=np.int64)
     return bool(np.all(position[graph.edge_src] < position[graph.edge_dst]))
 
 

@@ -70,6 +70,7 @@ def assess_robustness(
     rng: np.random.Generator | int | None = None,
     *,
     family: str = "uniform",
+    chunk_size: int | None = None,
 ) -> RobustnessReport:
     """Run the Monte-Carlo robustness experiment for one schedule.
 
@@ -85,6 +86,9 @@ def assess_robustness(
         Duration distribution family (see
         :meth:`~repro.platform.uncertainty.UncertaintyModel.realize_durations`);
         the paper's model is ``"uniform"``.
+    chunk_size:
+        Optional realization-axis chunking for very large ``N`` (see
+        :func:`~repro.schedule.evaluation.batch_makespans`).
 
     Returns
     -------
@@ -96,7 +100,11 @@ def assess_robustness(
     durations = schedule.problem.uncertainty.realize_durations(
         schedule.proc_of, n_realizations, gen, family=family
     )
-    realized = batch_makespans(schedule, durations)
+    # Freshly sampled durations are finite and non-negative by construction,
+    # so skip the validation scan.
+    realized = batch_makespans(
+        schedule, durations, validate=False, chunk_size=chunk_size
+    )
     realized.setflags(write=False)
     return RobustnessReport(
         expected_makespan=m0,
