@@ -60,6 +60,32 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for the (UL, eps, instance) grid "
             "(figs 4-8; results are identical for any value)",
         )
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="cluster worker processes (figs 2-8; overrides --jobs; "
+            "crashed or hung workers are detected and their cells retried)",
+        )
+        p.add_argument(
+            "--checkpoint",
+            default=None,
+            help="JSONL journal of finished cells for crash recovery "
+            "(figs 2-8; default with --resume: "
+            "results/checkpoints/<command>-<scale>-seed<seed>.jsonl)",
+        )
+        p.add_argument(
+            "--resume",
+            action="store_true",
+            help="skip cells already journaled in the checkpoint; restored "
+            "cells are bit-identical to recomputed ones (figs 2-8)",
+        )
+        p.add_argument(
+            "--metrics-json",
+            default=None,
+            help="dump the cluster run metrics (throughput, utilization, "
+            "retries) to this JSON file (figs 2-8)",
+        )
 
     for fig, help_text in [
         ("fig2", "GA evolution, minimizing makespan (Sec. 5.1)"),
@@ -161,6 +187,22 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     if args.seed is not None:
         kwargs["seed"] = args.seed
     return ExperimentConfig(**kwargs)
+
+
+def _cluster_kwargs(args: argparse.Namespace, config: ExperimentConfig) -> dict:
+    """Execution knobs shared by every figure driver (repro.cluster)."""
+    checkpoint = args.checkpoint
+    if checkpoint is None and args.resume:
+        checkpoint = (
+            f"results/checkpoints/{args.command}-{config.scale.name}"
+            f"-seed{config.seed}.jsonl"
+        )
+    return {
+        "n_jobs": args.workers if args.workers is not None else args.jobs,
+        "checkpoint": checkpoint,
+        "resume": args.resume,
+        "metrics_path": args.metrics_json,
+    }
 
 
 def _progress(args: argparse.Namespace):
@@ -342,33 +384,34 @@ def run(argv: Sequence[str] | None = None) -> str:
     config = _config(args)
     uls = tuple(args.uls)
     progress = _progress(args)
+    cluster = _cluster_kwargs(args, config)
 
     if args.command in ("fig2", "fig3"):
         from repro.experiments.slack_effect import run_slack_effect
 
         objective = "makespan" if args.command == "fig2" else "slack"
         return run_slack_effect(
-            config, objective, uls, n_jobs=args.jobs, progress=progress
+            config, objective, uls, progress=progress, **cluster
         ).to_table()
     if args.command == "fig4":
         from repro.experiments.eps_one import run_eps_one
 
         return run_eps_one(
-            config, uls, n_jobs=args.jobs, progress=progress
+            config, uls, progress=progress, **cluster
         ).to_table()
     if args.command in ("fig5", "fig6"):
         from repro.experiments.eps_sweep import run_eps_sweep
 
         which = "r1" if args.command == "fig5" else "r2"
         return run_eps_sweep(
-            config, uls, n_jobs=args.jobs, progress=progress
+            config, uls, progress=progress, **cluster
         ).to_table(which)
     if args.command in ("fig7", "fig8"):
         from repro.experiments.best_eps import run_best_eps
 
         which = "r1" if args.command == "fig7" else "r2"
         return run_best_eps(
-            config, uls, n_jobs=args.jobs, progress=progress
+            config, uls, progress=progress, **cluster
         ).to_table(which)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

@@ -1,0 +1,88 @@
+"""Worker process: pull tasks over a pipe, compute, heartbeat.
+
+Each worker owns one duplex pipe to the scheduler.  The main thread
+blocks on ``recv`` for task messages and executes them; a daemon thread
+beats every ``heartbeat_interval`` seconds so the scheduler can tell
+"busy computing" from "wedged or gone".  All sends share one lock — a
+pipe is not thread-safe between the beat thread and result sends.
+
+Message protocol (tuples, first element is the kind):
+
+scheduler -> worker
+    ``("task", key, fn, args, kwargs, dep_results)``
+    ``("stop",)``
+
+worker -> scheduler
+    ``("ready", worker_id)``              once, after startup
+    ``("heartbeat", worker_id)``          every interval
+    ``("result", worker_id, key, result, duration)``
+    ``("error", worker_id, key, traceback_str, duration)``
+
+Task exceptions are caught and reported as ``error`` messages — the
+worker survives and pulls the next task; retry policy lives in the
+scheduler.  Only a crash (signal, OOM kill, interpreter abort) or a hang
+takes a worker down, and the scheduler detects both.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+__all__ = ["worker_main"]
+
+
+def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
+    """Entry point of one worker process (module-level: spawn-safe)."""
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def _send(message: tuple) -> bool:
+        try:
+            with send_lock:
+                conn.send(message)
+            return True
+        except (BrokenPipeError, OSError):
+            return False  # scheduler is gone; exit quietly
+
+    def _beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            if not _send(("heartbeat", worker_id)):
+                return
+
+    beater = threading.Thread(target=_beat, name="heartbeat", daemon=True)
+    beater.start()
+    _send(("ready", worker_id))
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message[0] == "stop":
+                break
+            _, key, fn, args, kwargs, dep_results = message
+            start = time.perf_counter()
+            try:
+                if dep_results is not None:
+                    result = fn(dep_results, *args, **kwargs)
+                else:
+                    result = fn(*args, **kwargs)
+            except BaseException:
+                duration = time.perf_counter() - start
+                if not _send(
+                    ("error", worker_id, key, traceback.format_exc(), duration)
+                ):
+                    break
+            else:
+                duration = time.perf_counter() - start
+                if not _send(("result", worker_id, key, result, duration)):
+                    break
+    finally:
+        stop_beating.set()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -63,13 +63,25 @@ def run_best_eps(
     grid: EpsGridResults | None = None,
     n_jobs: int = 1,
     progress=None,
+    checkpoint=None,
+    resume: bool = False,
+    metrics_path=None,
 ) -> BestEpsResult:
     """Run the Figs. 7/8 experiment (reusing a Figs. 5/6 grid if given)."""
     epsilons = tuple(float(e) for e in epsilons)
     if 1.0 not in epsilons:
         epsilons = (1.0, *epsilons)
     if grid is None:
-        grid = run_eps_grid(config, uls, epsilons, n_jobs=n_jobs, progress=progress)
+        grid = run_eps_grid(
+            config,
+            uls,
+            epsilons,
+            n_jobs=n_jobs,
+            progress=progress,
+            checkpoint=checkpoint,
+            resume=resume,
+            metrics_path=metrics_path,
+        )
 
     cap = config.r1_cap
     uls = tuple(float(u) for u in uls)

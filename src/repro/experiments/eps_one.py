@@ -54,6 +54,9 @@ def run_eps_one(
     grid: EpsGridResults | None = None,
     n_jobs: int = 1,
     progress=None,
+    checkpoint=None,
+    resume: bool = False,
+    metrics_path=None,
 ) -> EpsOneResult:
     """Run the Fig. 4 experiment.
 
@@ -64,7 +67,16 @@ def run_eps_one(
         ε = 1.0 (the Figs. 5-8 grid qualifies).
     """
     if grid is None:
-        grid = run_eps_grid(config, uls, (1.0,), n_jobs=n_jobs, progress=progress)
+        grid = run_eps_grid(
+            config,
+            uls,
+            (1.0,),
+            n_jobs=n_jobs,
+            progress=progress,
+            checkpoint=checkpoint,
+            resume=resume,
+            metrics_path=metrics_path,
+        )
     makespan = np.asarray(
         [
             grid.mean_log_ratio(

@@ -57,6 +57,9 @@ def run_eps_sweep(
     grid: EpsGridResults | None = None,
     n_jobs: int = 1,
     progress=None,
+    checkpoint=None,
+    resume: bool = False,
+    metrics_path=None,
 ) -> EpsSweepResult:
     """Run the Figs. 5/6 experiment.
 
@@ -70,7 +73,16 @@ def run_eps_sweep(
     if 1.0 not in epsilons:
         epsilons = (1.0, *epsilons)
     if grid is None:
-        grid = run_eps_grid(config, uls, epsilons, n_jobs=n_jobs, progress=progress)
+        grid = run_eps_grid(
+            config,
+            uls,
+            epsilons,
+            n_jobs=n_jobs,
+            progress=progress,
+            checkpoint=checkpoint,
+            resume=resume,
+            metrics_path=metrics_path,
+        )
 
     swept = tuple(e for e in epsilons if e != 1.0)
     r1_improvement: dict[float, np.ndarray] = {}

@@ -9,10 +9,13 @@ the per-figure drivers reduce it.
 from __future__ import annotations
 
 import math
+import pathlib
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.cluster import Checkpoint, Scheduler, ClusterConfig, TaskFailure, TaskSpec
 from repro.core.robust import RobustScheduler
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import make_problems
@@ -125,10 +128,54 @@ def _instance_outcomes(
     return outcomes
 
 
-def _grid_worker(payload) -> tuple[float, int, list[InstanceOutcome]]:
-    """Module-level worker (picklable) for process-pool execution."""
-    config, ul, index, epsilons = payload
-    return ul, index, _instance_outcomes(config, ul, index, epsilons)
+def _outcome_to_dict(outcome: InstanceOutcome) -> dict[str, Any]:
+    """JSON-compatible (bit-exact) encoding of one grid outcome."""
+    from repro.io.json_io import report_to_dict
+
+    return {
+        "instance": outcome.instance,
+        "epsilon": outcome.epsilon,
+        "mean_ul": outcome.mean_ul,
+        "ga": report_to_dict(outcome.ga),
+        "heft": report_to_dict(outcome.heft),
+    }
+
+
+def _outcome_from_dict(payload: dict[str, Any]) -> InstanceOutcome:
+    """Invert :func:`_outcome_to_dict` bit-for-bit."""
+    from repro.io.json_io import report_from_dict
+
+    return InstanceOutcome(
+        instance=int(payload["instance"]),
+        epsilon=float(payload["epsilon"]),
+        mean_ul=float(payload["mean_ul"]),
+        ga=report_from_dict(payload["ga"]),
+        heft=report_from_dict(payload["heft"]),
+    )
+
+
+def _encode_cell(outcomes: list[InstanceOutcome]) -> list[dict[str, Any]]:
+    return [_outcome_to_dict(o) for o in outcomes]
+
+
+def _decode_cell(payload: list[dict[str, Any]]) -> list[InstanceOutcome]:
+    return [_outcome_from_dict(o) for o in payload]
+
+
+def _grid_run_id(
+    config: ExperimentConfig,
+    uls: tuple[float, ...],
+    epsilons: tuple[float, ...],
+) -> str:
+    """Identity of one logical grid run — everything that shapes results."""
+    s = config.scale
+    return (
+        f"eps_grid/seed={config.seed}/scale={s.name}"
+        f"/graphs={s.n_graphs}/real={s.n_realizations}/tasks={s.n_tasks}"
+        f"/iters={s.ga_max_iterations}/m={config.m}"
+        f"/uls={','.join(f'{u:g}' for u in uls)}"
+        f"/eps={','.join(f'{e:g}' for e in epsilons)}"
+    )
 
 
 def run_eps_grid(
@@ -138,8 +185,15 @@ def run_eps_grid(
     *,
     n_jobs: int = 1,
     progress=None,
+    checkpoint: str | pathlib.Path | None = None,
+    resume: bool = False,
+    metrics_path: str | pathlib.Path | None = None,
 ) -> EpsGridResults:
     """Run the ε-constraint GA over every (UL, ε, instance) combination.
+
+    Execution goes through :mod:`repro.cluster`: each (UL, instance) pair
+    is one task, retried on worker crashes/hangs and journaled to the
+    checkpoint as it completes.
 
     Parameters
     ----------
@@ -155,37 +209,79 @@ def run_eps_grid(
         bit-identical for any ``n_jobs``.
     progress:
         Optional callable ``progress(msg: str)`` for long runs.
+    checkpoint:
+        Optional JSONL journal path; finished cells are appended as the
+        run progresses.
+    resume:
+        Restore already-journaled cells from *checkpoint* instead of
+        recomputing them (requires *checkpoint*; restored cells are
+        bit-identical to recomputed ones).
+    metrics_path:
+        Optional path to dump the run's cluster metrics as JSON.
     """
     uls = tuple(float(u) for u in uls)
     epsilons = tuple(float(e) for e in epsilons)
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
     cells: dict[tuple[float, float], list[InstanceOutcome]] = {
         (u, e): [] for u in uls for e in epsilons
     }
     n_graphs = config.scale.n_graphs
-    work = [(config, ul, i, epsilons) for ul in uls for i in range(n_graphs)]
+    specs = [
+        TaskSpec(
+            key=f"ul={ul:g}/instance={i}",
+            fn=_instance_outcomes,
+            args=(config, ul, i, epsilons),
+            seed=(config.seed, int(round(ul * 1000)), i),
+            max_retries=2,
+        )
+        for ul in uls
+        for i in range(n_graphs)
+    ]
 
-    if n_jobs == 1:
-        results = map(_grid_worker, work)
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
-        results = pool.map(_grid_worker, work)
+    journal = None
+    if checkpoint is not None:
+        journal = Checkpoint(
+            checkpoint,
+            run_id=_grid_run_id(config, uls, epsilons),
+            encode=_encode_cell,
+            decode=_decode_cell,
+        )
+        if not resume and journal.path.exists():
+            journal.path.unlink()  # fresh run: do not mix journals
 
     done = 0
-    for ul, index, outcomes in results:
-        for o in outcomes:
-            cells[(ul, o.epsilon)].append(o)
-        done += 1
-        if progress is not None:
-            progress(f"UL={ul:g}: instance {index + 1}/{n_graphs} done "
-                     f"({done}/{len(work)} cells)")
-    if n_jobs > 1:
-        pool.shutdown()
 
-    # Workers may complete out of order; restore instance order per cell.
+    def _on_done(spec: TaskSpec, outcome) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None and outcome.ok:
+            _, ul, index, _ = spec.args
+            suffix = " [restored]" if outcome.from_checkpoint else ""
+            progress(
+                f"UL={ul:g}: instance {index + 1}/{n_graphs} done "
+                f"({done}/{len(specs)} cells){suffix}"
+            )
+
+    scheduler = Scheduler(
+        ClusterConfig(n_workers=n_jobs if n_jobs > 1 else 0),
+        checkpoint=journal,
+        on_done=_on_done,
+    )
+    results = scheduler.run(specs)
+    if metrics_path is not None:
+        scheduler.metrics.dump(metrics_path)
+    failures = [o for o in results.values() if not o.ok]
+    if failures:
+        raise TaskFailure(failures)
+
+    for spec in specs:
+        for o in results[spec.key].result:
+            cells[(o.mean_ul, o.epsilon)].append(o)
+
+    # Tasks may have completed out of order; restore instance order per cell.
     for outcomes in cells.values():
         outcomes.sort(key=lambda o: o.instance)
     return EpsGridResults(config=config, uls=uls, epsilons=epsilons, cells=cells)

@@ -23,10 +23,12 @@ which a HEFT-seeded population would hide.
 from __future__ import annotations
 
 import math
+import pathlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster import Checkpoint, ClusterConfig, Scheduler, TaskFailure, TaskSpec
 from repro.experiments.config import PAPER_ULS, ExperimentConfig
 from repro.experiments.runner import capped
 from repro.experiments.workloads import make_problems
@@ -127,11 +129,38 @@ def _instance_trace(
     }
 
 
-def _trace_worker(payload):
-    """Module-level worker (picklable) for process-pool execution."""
-    config, objective, ul, index, steps = payload
-    return ul, index, _instance_trace(
+def _trace_task(config, objective, ul, index, steps):
+    """Module-level task (picklable) for cluster execution."""
+    return _instance_trace(
         config, objective, ul, index, np.asarray(steps, dtype=np.int64)
+    )
+
+
+def _encode_trace(trace: dict[str, np.ndarray]) -> dict[str, list[float]]:
+    """JSON-compatible (bit-exact) encoding of one instance trace."""
+    return {key: arr.tolist() for key, arr in trace.items()}
+
+
+def _decode_trace(payload: dict[str, list[float]]) -> dict[str, np.ndarray]:
+    return {
+        key: np.asarray(values, dtype=np.float64)
+        for key, values in payload.items()
+    }
+
+
+def _slack_run_id(
+    config: ExperimentConfig,
+    objective: str,
+    uls: tuple[float, ...],
+    steps: tuple[int, ...],
+) -> str:
+    s = config.scale
+    return (
+        f"slack_effect/{objective}/seed={config.seed}/scale={s.name}"
+        f"/graphs={s.n_graphs}/real={s.n_realizations}/tasks={s.n_tasks}"
+        f"/iters={s.ga_max_iterations}/m={config.m}"
+        f"/uls={','.join(f'{u:g}' for u in uls)}"
+        f"/steps={','.join(str(t) for t in steps)}"
     )
 
 
@@ -143,8 +172,16 @@ def run_slack_effect(
     n_steps: int = 11,
     n_jobs: int = 1,
     progress=None,
+    checkpoint: str | pathlib.Path | None = None,
+    resume: bool = False,
+    metrics_path: str | pathlib.Path | None = None,
 ) -> SlackEffectResult:
     """Run the Fig. 2 / Fig. 3 experiment.
+
+    Execution goes through :mod:`repro.cluster` — one task per
+    (UL, instance) evolution trace, with crash retries and optional
+    checkpoint/resume exactly as in
+    :func:`~repro.experiments.runner.run_eps_grid`.
 
     Parameters
     ----------
@@ -159,11 +196,15 @@ def run_slack_effect(
     n_jobs:
         Worker processes; results are identical for any value (all random
         streams derive from the config seed).
+    checkpoint / resume / metrics_path:
+        Durable-progress knobs; see :func:`run_eps_grid`.
     """
     if objective not in ("makespan", "slack"):
         raise ValueError(f"objective must be 'makespan' or 'slack', got {objective!r}")
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
 
     scale = config.scale
     step_grid = np.unique(
@@ -171,35 +212,61 @@ def run_slack_effect(
     )
     uls = tuple(float(u) for u in uls)
     steps_payload = tuple(int(s) for s in step_grid)
-    work = [
-        (config, objective, ul, i, steps_payload)
+    specs = [
+        TaskSpec(
+            key=f"{objective}/ul={ul:g}/instance={i}",
+            fn=_trace_task,
+            args=(config, objective, ul, i, steps_payload),
+            seed=(config.seed, 6, int(round(ul * 1000)), i),
+            max_retries=2,
+        )
         for ul in uls
         for i in range(scale.n_graphs)
     ]
 
-    if n_jobs == 1:
-        results = map(_trace_worker, work)
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    journal = None
+    if checkpoint is not None:
+        journal = Checkpoint(
+            checkpoint,
+            run_id=_slack_run_id(config, objective, uls, steps_payload),
+            encode=_encode_trace,
+            decode=_decode_trace,
+        )
+        if not resume and journal.path.exists():
+            journal.path.unlink()  # fresh run: do not mix journals
 
-        pool = ProcessPoolExecutor(max_workers=n_jobs)
-        results = pool.map(_trace_worker, work)
+    done = 0
+
+    def _on_done(spec: TaskSpec, outcome) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None and outcome.ok:
+            _, _, ul, index, _ = spec.args
+            suffix = " [restored]" if outcome.from_checkpoint else ""
+            progress(
+                f"{objective} UL={ul:g}: instance {index + 1}/{scale.n_graphs} "
+                f"({done}/{len(specs)}){suffix}"
+            )
+
+    scheduler = Scheduler(
+        ClusterConfig(n_workers=n_jobs if n_jobs > 1 else 0),
+        checkpoint=journal,
+        on_done=_on_done,
+    )
+    results = scheduler.run(specs)
+    if metrics_path is not None:
+        scheduler.metrics.dump(metrics_path)
+    failures = [o for o in results.values() if not o.ok]
+    if failures:
+        raise TaskFailure(failures)
 
     traces: dict[float, dict[str, list[np.ndarray]]] = {
         ul: {"makespan": [], "slack": [], "r1": []} for ul in uls
     }
-    done = 0
-    for ul, index, trace in results:
-        for key, arr in trace.items():
+    for spec in specs:
+        _, _, ul, _, _ = spec.args
+        for key, arr in results[spec.key].result.items():
             traces[ul][key].append(arr)
-        done += 1
-        if progress is not None:
-            progress(
-                f"{objective} UL={ul:g}: instance {index + 1}/{scale.n_graphs} "
-                f"({done}/{len(work)})"
-            )
-    if n_jobs > 1:
-        pool.shutdown()
 
     series = [
         EvolutionSeries(

@@ -12,6 +12,14 @@ ring-wise (island i's best replaces island i+1's worst).
 Implemented on top of the engine without modifying it: between epochs the
 islands are restarted with their previous final populations injected via
 the ``seed_population`` hook.
+
+Islands can also run as :mod:`repro.cluster` tasks (``run(problem,
+n_jobs=k)``): each (epoch, island) evolution is one task whose
+dependencies carry the migrants — island *i*'s epoch-*e* task depends on
+the epoch-*(e-1)* tasks of islands *i* (its own population) and *i-1*
+(the ring migrant), so elites travel between processes through the
+scheduler.  Streams are pre-spawned from the root seed in the same order
+as the serial loop, making parallel results bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -88,6 +96,72 @@ class _SeededEngine(GeneticScheduler):
         return base
 
 
+def _elites_of(result: GAResult, pop_size: int) -> list[Chromosome]:
+    """An epoch's carry-over population: per-generation bests, unique,
+    most recent first, truncated to the population size."""
+    seen: set[bytes] = set()
+    elites: list[Chromosome] = []
+    for c in reversed(result.history.best_chromosomes):
+        if c.key() not in seen:
+            seen.add(c.key())
+            elites.append(c)
+    return elites[:pop_size]
+
+
+def _epoch_key(epoch: int, island: int) -> str:
+    """Cluster task key of one island's epoch."""
+    return f"epoch={epoch}/island={island}"
+
+
+def _island_epoch_task(
+    dep_results,
+    fitness,
+    epoch_params: GAParams,
+    stream,
+    problem: SchedulingProblem,
+    island: int,
+    n_islands: int,
+    pop_size: int,
+    epoch: int,
+) -> dict:
+    """One (epoch, island) evolution as a cluster task.
+
+    ``dep_results`` holds the previous epoch's payloads for this island
+    (its population) and its ring predecessor (the migrant) — the
+    migration that the serial loop performs in-place happens here, on the
+    receiving side, with identical insert/truncate semantics.
+    """
+    if epoch == 0:
+        seed_population = None
+    else:
+        own = dep_results[_epoch_key(epoch - 1, island)]
+        neighbor = dep_results[_epoch_key(epoch - 1, (island - 1) % n_islands)]
+        pool: list[Chromosome] = list(own["elites"])
+        migrant: Chromosome = neighbor["best"]
+        if migrant.key() not in {c.key() for c in pool}:
+            pool.insert(0, migrant)
+            del pool[pop_size:]
+        seed_population = pool
+    params = (
+        epoch_params
+        if (island == 0 or seed_population is not None)
+        else replace(epoch_params, seed_heft=False)
+    )
+    engine = _SeededEngine(
+        fitness,
+        params,
+        stream,
+        duration_matrix=None,
+        seed_population=seed_population,
+    )
+    result = engine.run(problem)
+    return {
+        "result": result,
+        "elites": _elites_of(result, pop_size),
+        "best": result.best.chromosome,
+    }
+
+
 class IslandGeneticScheduler:
     """Multi-population GA with ring migration.
 
@@ -118,8 +192,28 @@ class IslandGeneticScheduler:
         self.island_params = island_params or IslandParams()
         self._rng = as_generator(rng)
 
-    def run(self, problem: SchedulingProblem) -> IslandResult:
-        """Evolve all islands with periodic elite migration."""
+    def run(
+        self,
+        problem: SchedulingProblem,
+        *,
+        n_jobs: int = 1,
+        progress=None,
+    ) -> IslandResult:
+        """Evolve all islands with periodic elite migration.
+
+        Parameters
+        ----------
+        n_jobs:
+            Worker processes; ``1`` (default) evolves islands in-process,
+            ``> 1`` runs each (epoch, island) evolution as a
+            :mod:`repro.cluster` task with migrants exchanged through the
+            scheduler.  Results are bit-identical for any value.
+        progress:
+            Optional ``progress(line: str)`` status callback (cluster
+            path only).
+        """
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
         ip = self.island_params
         epoch_params = replace(
             self.ga_params,
@@ -127,6 +221,8 @@ class IslandGeneticScheduler:
             stagnation_limit=max(ip.epoch_generations, 1),
         )
         streams = self._rng.spawn(ip.n_islands * ip.epochs)
+        if n_jobs > 1:
+            return self._run_cluster(problem, epoch_params, streams, n_jobs, progress)
 
         # Current population per island (None = fresh start).
         populations: list[list[Chromosome] | None] = [None] * ip.n_islands
@@ -154,13 +250,7 @@ class IslandGeneticScheduler:
                 # Island's next-epoch population: elites of this epoch —
                 # approximate with the per-generation best chromosomes
                 # (unique, most recent first) padded by the engine later.
-                seen: set[bytes] = set()
-                elites: list[Chromosome] = []
-                for c in reversed(result.history.best_chromosomes):
-                    if c.key() not in seen:
-                        seen.add(c.key())
-                        elites.append(c)
-                populations[i] = elites[: self.ga_params.population_size]
+                populations[i] = _elites_of(result, self.ga_params.population_size)
 
             # Ring migration: island i's best joins island i+1's pool.
             bests = [results[i].best.chromosome for i in range(ip.n_islands)]
@@ -173,6 +263,68 @@ class IslandGeneticScheduler:
                     del pool[self.ga_params.population_size :]
 
         final = [r for r in results if r is not None]
+        best = max(final, key=lambda r: r.best_fitness)
+        return IslandResult(
+            best=best,
+            island_bests=tuple(r.best_fitness for r in final),
+            epochs=ip.epochs,
+        )
+
+    def _run_cluster(
+        self,
+        problem: SchedulingProblem,
+        epoch_params: GAParams,
+        streams,
+        n_jobs: int,
+        progress,
+    ) -> IslandResult:
+        """Cluster path: one task per (epoch, island), migrants via deps.
+
+        Stream ``streams[epoch * n_islands + island]`` matches the serial
+        loop's consumption order, and migration is replayed on the
+        receiving island with identical semantics, so the outcome is
+        bit-identical to the in-process path — crash retries included,
+        because a re-dispatched task is sent the same unconsumed stream.
+        """
+        from repro.cluster import run_tasks, TaskSpec
+
+        ip = self.island_params
+        pop_size = self.ga_params.population_size
+        specs = []
+        for epoch in range(ip.epochs):
+            for i in range(ip.n_islands):
+                deps = (
+                    ()
+                    if epoch == 0
+                    else (
+                        _epoch_key(epoch - 1, i),
+                        _epoch_key(epoch - 1, (i - 1) % ip.n_islands),
+                    )
+                )
+                specs.append(
+                    TaskSpec(
+                        key=_epoch_key(epoch, i),
+                        fn=_island_epoch_task,
+                        args=(
+                            self.fitness,
+                            epoch_params,
+                            streams[epoch * ip.n_islands + i],
+                            problem,
+                            i,
+                            ip.n_islands,
+                            pop_size,
+                            epoch,
+                        ),
+                        deps=deps,
+                        pass_dep_results=True,
+                        max_retries=2,
+                    )
+                )
+        outcomes = run_tasks(specs, n_workers=n_jobs, progress=progress)
+        final = [
+            outcomes[_epoch_key(ip.epochs - 1, i)].result["result"]
+            for i in range(ip.n_islands)
+        ]
         best = max(final, key=lambda r: r.best_fitness)
         return IslandResult(
             best=best,

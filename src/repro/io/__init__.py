@@ -11,6 +11,8 @@ from repro.io.json_io import (
     load_schedule,
     problem_from_dict,
     problem_to_dict,
+    report_from_dict,
+    report_to_dict,
     save_problem,
     save_schedule,
     schedule_from_dict,
@@ -26,6 +28,8 @@ __all__ = [
     "schedule_from_dict",
     "save_schedule",
     "load_schedule",
+    "report_to_dict",
+    "report_from_dict",
     "graph_to_dot",
     "disjunctive_to_dot",
 ]

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import pathlib
 from typing import Any
 
@@ -19,6 +20,7 @@ from repro.core.problem import SchedulingProblem
 from repro.graph.taskgraph import TaskGraph
 from repro.platform.platform import Platform
 from repro.platform.uncertainty import UncertaintyModel
+from repro.robustness.montecarlo import RobustnessReport
 from repro.schedule.schedule import Schedule
 
 __all__ = [
@@ -30,6 +32,8 @@ __all__ = [
     "schedule_from_dict",
     "save_schedule",
     "load_schedule",
+    "report_to_dict",
+    "report_from_dict",
 ]
 
 FORMAT_VERSION = 1
@@ -148,6 +152,75 @@ def schedule_from_dict(
             "schedule was saved for a different problem (fingerprint mismatch)"
         )
     return Schedule(problem, payload["proc_orders"])
+
+
+def _scalar_to_json(value: float) -> float | str:
+    """Encode one float; non-finite values become portable strings.
+
+    Finite floats round-trip **exactly** through :mod:`json`: the encoder
+    emits ``repr(float)``, the shortest decimal string that parses back
+    to the identical IEEE-754 double.  ``inf``/``nan`` (legal R1/R2
+    values — a schedule that never misses has infinite robustness) are
+    not valid JSON, so they are stored as strings that :func:`float`
+    parses back.
+    """
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    if math.isnan(value):
+        return "nan"
+    return "inf" if value > 0 else "-inf"
+
+
+def _scalar_from_json(value: float | int | str) -> float:
+    """Invert :func:`_scalar_to_json` bit-for-bit."""
+    return float(value)
+
+
+def report_to_dict(report: RobustnessReport) -> dict[str, Any]:
+    """Serialize a Monte-Carlo robustness report to a JSON-compatible dict.
+
+    The encoding is lossless: ``report_from_dict(report_to_dict(r))``
+    reproduces every float bit-for-bit, which is what lets cluster
+    checkpoints (:mod:`repro.cluster.checkpoint`) restore finished grid
+    cells indistinguishably from recomputing them.
+    """
+    return {
+        "format": "repro.robustness_report",
+        "version": FORMAT_VERSION,
+        "expected_makespan": _scalar_to_json(report.expected_makespan),
+        "avg_slack": _scalar_to_json(report.avg_slack),
+        "realized_makespans": report.realized_makespans.tolist(),
+        "mean_makespan": _scalar_to_json(report.mean_makespan),
+        "mean_tardiness": _scalar_to_json(report.mean_tardiness),
+        "miss_rate": _scalar_to_json(report.miss_rate),
+        "r1": _scalar_to_json(report.r1),
+        "r2": _scalar_to_json(report.r2),
+    }
+
+
+def report_from_dict(payload: dict[str, Any]) -> RobustnessReport:
+    """Rebuild a report from :func:`report_to_dict` output, bit-exact."""
+    if payload.get("format") != "repro.robustness_report":
+        raise ValueError(
+            f"not a repro robustness-report payload: {payload.get('format')!r}"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported robustness-report version {payload.get('version')}"
+        )
+    realized = np.asarray(payload["realized_makespans"], dtype=np.float64)
+    realized.setflags(write=False)
+    return RobustnessReport(
+        expected_makespan=_scalar_from_json(payload["expected_makespan"]),
+        avg_slack=_scalar_from_json(payload["avg_slack"]),
+        realized_makespans=realized,
+        mean_makespan=_scalar_from_json(payload["mean_makespan"]),
+        mean_tardiness=_scalar_from_json(payload["mean_tardiness"]),
+        miss_rate=_scalar_from_json(payload["miss_rate"]),
+        r1=_scalar_from_json(payload["r1"]),
+        r2=_scalar_from_json(payload["r2"]),
+    )
 
 
 def save_schedule(schedule: Schedule, path: str | pathlib.Path) -> None:

@@ -1,0 +1,269 @@
+"""Unit tests for repro.cluster: specs, scheduling, checkpoints, metrics."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Checkpoint,
+    ClusterConfig,
+    ClusterMetrics,
+    HeartbeatMonitor,
+    Scheduler,
+    TaskFailure,
+    TaskSpec,
+    TaskState,
+    run_tasks,
+)
+
+# Module-level task functions (picklable; the serial path calls them
+# in-process so closures would work, but mirroring the pool contract
+# keeps the tests honest).
+
+
+def _double(x):
+    return 2 * x
+
+
+def _sum_deps(dep_results, offset):
+    return sum(dep_results.values()) + offset
+
+
+_CALLS: list[str] = []
+
+
+def _record_call(key):
+    _CALLS.append(key)
+    return key
+
+
+def _fail_n_times(counter_box, n):
+    counter_box.append(1)
+    if len(counter_box) <= n:
+        raise RuntimeError(f"attempt {len(counter_box)} fails")
+    return len(counter_box)
+
+
+def _always_raises():
+    raise ValueError("poison")
+
+
+class TestTaskSpec:
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError, match="key"):
+            TaskSpec(key="", fn=_double)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(TypeError, match="callable"):
+            TaskSpec(key="t", fn=42)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            TaskSpec(key="t", fn=_double, max_retries=-1)
+
+    def test_rejects_self_dependency(self):
+        with pytest.raises(ValueError, match="itself"):
+            TaskSpec(key="t", fn=_double, deps=("t",))
+
+
+class TestClusterConfig:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_workers=-1)
+        with pytest.raises(ValueError):
+            ClusterConfig(heartbeat_interval=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+        with pytest.raises(ValueError):
+            ClusterConfig(poll_interval=0)
+
+
+class TestSerialScheduling:
+    def test_runs_in_submission_order(self):
+        _CALLS.clear()
+        specs = [TaskSpec(key=f"t{i}", fn=_record_call, args=(f"t{i}",)) for i in range(5)]
+        out = Scheduler().run(specs)
+        assert _CALLS == [f"t{i}" for i in range(5)]
+        assert [o.key for o in out.values()] == [f"t{i}" for i in range(5)]
+        assert all(o.ok for o in out.values())
+
+    def test_dependency_results_passed(self):
+        specs = [
+            TaskSpec(key="a", fn=_double, args=(3,)),
+            TaskSpec(key="b", fn=_double, args=(4,)),
+            TaskSpec(
+                key="total",
+                fn=_sum_deps,
+                args=(100,),
+                deps=("a", "b"),
+                pass_dep_results=True,
+            ),
+        ]
+        out = Scheduler().run(specs)
+        assert out["total"].result == 6 + 8 + 100
+
+    def test_retry_then_success(self):
+        box: list[int] = []
+        spec = TaskSpec(key="flaky", fn=_fail_n_times, args=(box, 2), max_retries=2)
+        out = Scheduler().run([spec])
+        assert out["flaky"].ok
+        assert out["flaky"].result == 3  # succeeded on the third attempt
+        assert out["flaky"].retries == 2
+
+    def test_poison_marked_failed_after_budget(self):
+        sched = Scheduler()
+        out = sched.run(
+            [
+                TaskSpec(key="poison", fn=_always_raises, max_retries=2),
+                TaskSpec(key="fine", fn=_double, args=(1,)),
+            ]
+        )
+        assert out["poison"].state is TaskState.FAILED
+        assert out["poison"].retries == 2  # 3 attempts = 1 + 2 retries
+        assert "poison" in out["poison"].error
+        assert out["fine"].ok  # the failure never stalls the rest
+        assert sched.metrics.failed == 1
+        assert sched.metrics.retried == 2
+
+    def test_dependency_failure_cascades(self):
+        out = Scheduler().run(
+            [
+                TaskSpec(key="bad", fn=_always_raises, max_retries=0),
+                TaskSpec(key="child", fn=_double, args=(1,), deps=("bad",)),
+                TaskSpec(key="grandchild", fn=_double, args=(1,), deps=("child",)),
+                TaskSpec(key="independent", fn=_double, args=(5,)),
+            ]
+        )
+        assert out["bad"].state is TaskState.FAILED
+        assert out["child"].state is TaskState.FAILED
+        assert "bad" in out["child"].error
+        assert out["grandchild"].state is TaskState.FAILED
+        assert out["independent"].result == 10
+
+    def test_run_tasks_raises_on_failure(self):
+        with pytest.raises(TaskFailure, match="poison"):
+            run_tasks([TaskSpec(key="poison", fn=_always_raises, max_retries=0)])
+
+
+class TestValidation:
+    def test_duplicate_keys_rejected(self):
+        specs = [TaskSpec(key="t", fn=_double), TaskSpec(key="t", fn=_double)]
+        with pytest.raises(ValueError, match="duplicate"):
+            Scheduler().run(specs)
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Scheduler().run([TaskSpec(key="t", fn=_double, deps=("ghost",))])
+
+    def test_cycle_rejected(self):
+        specs = [
+            TaskSpec(key="a", fn=_double, deps=("b",)),
+            TaskSpec(key="b", fn=_double, deps=("a",)),
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            Scheduler().run(specs)
+
+
+class TestCheckpoint:
+    def test_round_trip(self, tmp_path):
+        ck = Checkpoint(tmp_path / "j.jsonl", run_id="run-1")
+        ck.record("a", {"x": 1.5}, seed=(1, 2), retries=0)
+        ck.record("b", [1, 2, 3])
+        ck.close()
+        loaded = Checkpoint(tmp_path / "j.jsonl", run_id="run-1").load()
+        assert loaded == {"a": {"x": 1.5}, "b": [1, 2, 3]}
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert Checkpoint(tmp_path / "none.jsonl").load() == {}
+
+    def test_torn_tail_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ck = Checkpoint(path, run_id="r")
+        ck.record("a", 1)
+        ck.record("b", 2)
+        ck.close()
+        text = path.read_text()
+        path.write_text(text[: len(text) - 8])  # tear the final record
+        assert Checkpoint(path, run_id="r").load() == {"a": 1}
+
+    def test_run_id_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        ck = Checkpoint(path, run_id="seed=42")
+        ck.record("a", 1)
+        ck.close()
+        with pytest.raises(ValueError, match="seed=42"):
+            Checkpoint(path, run_id="seed=7").load()
+
+    def test_codecs_applied(self, tmp_path):
+        ck = Checkpoint(
+            tmp_path / "j.jsonl",
+            encode=lambda arr: arr.tolist(),
+            decode=lambda lst: np.asarray(lst),
+        )
+        values = np.asarray([1.25, 2.5])
+        ck.record("a", values)
+        ck.close()
+        restored = ck.load()["a"]
+        assert np.array_equal(restored, values)
+
+    def test_scheduler_restores_and_skips(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        specs = [TaskSpec(key=f"t{i}", fn=_record_call, args=(f"t{i}",)) for i in range(4)]
+        Scheduler(checkpoint=Checkpoint(path, run_id="r")).run(specs)
+        _CALLS.clear()
+        sched = Scheduler(checkpoint=Checkpoint(path, run_id="r"))
+        out = sched.run(specs)
+        assert _CALLS == []  # nothing re-executed
+        assert all(o.from_checkpoint for o in out.values())
+        assert sched.metrics.restored == 4
+
+
+class TestHeartbeatMonitor:
+    def test_overdue_detection(self):
+        monitor = HeartbeatMonitor(timeout=1.0)
+        monitor.register(0, now=100.0)
+        monitor.register(1, now=100.0)
+        monitor.beat(1, now=102.0)
+        assert monitor.overdue(now=102.0) == [0]
+        monitor.forget(0)
+        assert monitor.overdue(now=110.0) == [1]
+
+    def test_disabled_timeout(self):
+        monitor = HeartbeatMonitor(timeout=None)
+        monitor.register(0, now=0.0)
+        assert monitor.overdue(now=1e9) == []
+
+    def test_rejects_non_positive_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            HeartbeatMonitor(timeout=0.0)
+
+
+class TestMetrics:
+    def test_counters_and_snapshot(self):
+        sched = Scheduler()
+        sched.run([TaskSpec(key=f"t{i}", fn=_double, args=(i,)) for i in range(3)])
+        m = sched.metrics
+        assert (m.n_tasks, m.done, m.failed, m.queued) == (3, 3, 0, 0)
+        snap = m.snapshot()
+        assert snap["done"] == 3
+        assert snap["throughput_per_s"] > 0
+        assert json.dumps(snap)  # JSON-ready
+
+    def test_status_line_mentions_progress(self):
+        m = ClusterMetrics(n_tasks=10, done=4, running=2, queued=4, retried=1)
+        line = m.status_line()
+        assert "4/10 done" in line
+        assert "retried" in line
+
+    def test_dump(self, tmp_path):
+        m = ClusterMetrics(n_tasks=2, done=2)
+        m.dump(tmp_path / "metrics.json")
+        data = json.loads((tmp_path / "metrics.json").read_text())
+        assert data["n_tasks"] == 2
+
+    def test_utilization_bounded(self):
+        m = ClusterMetrics(n_workers=2, busy_seconds=1e9)
+        time.sleep(0.001)
+        assert m.utilization == 1.0

@@ -13,6 +13,8 @@ from repro.io import (
     load_schedule,
     problem_from_dict,
     problem_to_dict,
+    report_from_dict,
+    report_to_dict,
     save_problem,
     save_schedule,
     schedule_from_dict,
@@ -101,6 +103,70 @@ class TestScheduleRoundtrip:
     def test_rejects_wrong_format(self, small_random_problem):
         with pytest.raises(ValueError, match="not a repro schedule"):
             schedule_from_dict({"format": "nope"}, small_random_problem)
+
+
+class TestReportRoundtrip:
+    """report_to_dict / report_from_dict must be bit-exact — the cluster
+    checkpoint relies on restored cells being indistinguishable from
+    recomputed ones."""
+
+    def _report(self, problem, rng=0):
+        from repro.robustness.montecarlo import assess_robustness
+
+        schedule = HeftScheduler().schedule(problem)
+        return assess_robustness(schedule, 50, rng)
+
+    def test_round_trip_bit_exact(self, small_random_problem):
+        report = self._report(small_random_problem)
+        # Through actual JSON text, not just dicts — exactly what the
+        # checkpoint journal does.
+        payload = json.loads(json.dumps(report_to_dict(report)))
+        restored = report_from_dict(payload)
+        for attr in (
+            "expected_makespan",
+            "avg_slack",
+            "mean_makespan",
+            "mean_tardiness",
+            "miss_rate",
+            "r1",
+            "r2",
+        ):
+            a, b = getattr(report, attr), getattr(restored, attr)
+            assert a == b or (np.isnan(a) and np.isnan(b)), attr
+        assert restored.realized_makespans.dtype == np.float64
+        assert np.array_equal(
+            report.realized_makespans, restored.realized_makespans
+        )
+
+    def test_round_trip_preserves_infinite_robustness(self, small_random_problem):
+        import dataclasses
+
+        report = self._report(small_random_problem)
+        # A schedule that never misses its deadline has R = inf — legal,
+        # and not representable in standard JSON without the string coding.
+        report = dataclasses.replace(report, r1=float("inf"), r2=float("inf"))
+        payload = json.dumps(report_to_dict(report), allow_nan=False)
+        restored = report_from_dict(json.loads(payload))
+        assert restored.r1 == float("inf")
+        assert restored.r2 == float("inf")
+
+    def test_arbitrary_floats_survive_json(self):
+        # The fidelity claim the checkpoint rests on: repr-based JSON
+        # round-trips reproduce IEEE-754 doubles bit-for-bit.
+        rng = np.random.default_rng(7)
+        values = rng.random(1000) * np.float64(10.0) ** rng.integers(-300, 300, 1000)
+        decoded = np.asarray(json.loads(json.dumps(values.tolist())))
+        assert values.tobytes() == decoded.tobytes()
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro robustness-report"):
+            report_from_dict({"format": "nope"})
+
+    def test_rejects_wrong_version(self, small_random_problem):
+        payload = report_to_dict(self._report(small_random_problem))
+        payload["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            report_from_dict(payload)
 
 
 class TestDot:

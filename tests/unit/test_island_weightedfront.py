@@ -59,6 +59,37 @@ class TestIslandGeneticScheduler:
         assert a.best.best_fitness == b.best.best_fitness
         assert a.island_bests == b.island_bests
 
+    def test_cluster_run_matches_serial(self):
+        """Islands as cluster tasks (migrants via the scheduler) produce
+        bit-identical results to the in-process epoch loop."""
+        problem = make_random_problem(9, n=12, m=2)
+
+        def scheduler():
+            return IslandGeneticScheduler(
+                SlackFitness(),
+                GAParams(population_size=6, max_iterations=10),
+                IslandParams(n_islands=2, epoch_generations=5, epochs=2),
+                rng=42,
+            )
+
+        serial = scheduler().run(problem)
+        parallel = scheduler().run(problem, n_jobs=2)
+        assert serial.island_bests == parallel.island_bests
+        assert serial.best.best_fitness == parallel.best.best_fitness
+        assert np.array_equal(
+            serial.schedule.proc_of, parallel.schedule.proc_of
+        )
+
+    def test_rejects_bad_n_jobs(self):
+        problem = make_random_problem(9, n=10, m=2)
+        with pytest.raises(ValueError, match="n_jobs"):
+            IslandGeneticScheduler(
+                SlackFitness(),
+                GAParams(population_size=6, max_iterations=10),
+                IslandParams(n_islands=2, epoch_generations=5, epochs=1),
+                rng=1,
+            ).run(problem, n_jobs=0)
+
     def test_competitive_with_single_population(self):
         """At a comparable total budget the island model should land within
         a reasonable factor of the single-population GA (it is a diversity
