@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Measure the observability layer's overhead on the hot kernel.
+
+Times ``batch_makespans`` (1000 realizations, the GA/Monte-Carlo hot
+path) three ways and writes the medians to ``BENCH_obs.json`` at the
+repository root:
+
+* ``baseline`` — no session, the facade guards short-circuit;
+* ``disabled`` — same as baseline, named for the contract it verifies:
+  instrumentation with tracing off must stay within noise (< 2%) of the
+  untraced medians recorded in ``BENCH_kernels.json``;
+* ``enabled`` — a live in-memory session capturing spans and metrics.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_obs.py            # write JSON
+    PYTHONPATH=src python scripts/bench_obs.py --no-write # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core.problem import SchedulingProblem
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.platform.uncertainty import UncertaintyParams
+from repro.schedule.evaluation import batch_makespans
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _median_ms(fn, *, budget_s: float = 2.0, min_rounds: int = 5) -> tuple[float, int]:
+    """Median wall-clock milliseconds of ``fn()`` over a time budget."""
+    fn()  # warm caches and the optional native kernel
+    times: list[float] = []
+    t_stop = time.perf_counter() + budget_s
+    while len(times) < min_rounds or time.perf_counter() < t_stop:
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+        if len(times) >= 10_000:
+            break
+    times.sort()
+    return times[len(times) // 2] * 1e3, len(times)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print timings without updating BENCH_obs.json",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="per-mode time budget in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_obs.json",
+        help="output path (default: BENCH_obs.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    problem = SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=100),
+        uncertainty_params=UncertaintyParams(mean_ul=2.0),
+        rng=0,
+    )
+    schedule = HeftScheduler().schedule(problem)
+    durations = schedule.realize_durations(1000, rng=1)
+    kernel = lambda: batch_makespans(schedule, durations)  # noqa: E731
+
+    results = {}
+    for mode in ("baseline", "disabled", "enabled"):
+        if mode == "enabled":
+            obs.enable(obs.InMemorySink())
+        try:
+            median, rounds = _median_ms(kernel, budget_s=args.budget)
+        finally:
+            if mode == "enabled":
+                obs.disable()
+        results[mode] = {"median_ms": round(median, 4), "rounds": rounds}
+        print(f"{mode:10s} {median:10.4f} ms   ({rounds} rounds)")
+
+    disabled_overhead = (
+        results["disabled"]["median_ms"] / results["baseline"]["median_ms"] - 1.0
+    )
+    enabled_overhead = (
+        results["enabled"]["median_ms"] / results["baseline"]["median_ms"] - 1.0
+    )
+    print(f"disabled overhead: {disabled_overhead:+.2%}")
+    print(f"enabled  overhead: {enabled_overhead:+.2%}")
+
+    record = {
+        "kernel": "batch_makespans_1000",
+        "modes": results,
+        "disabled_overhead": round(disabled_overhead, 4),
+        "enabled_overhead": round(enabled_overhead, 4),
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+    if not args.no_write:
+        args.output.write_text(json.dumps(record, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

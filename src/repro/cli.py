@@ -6,6 +6,8 @@ Usage::
     python -m repro fig2 --scale medium --uls 2 8
     python -m repro fig5 --scale paper
     python -m repro solve --seed 42 --epsilon 1.3   # one-off solve demo
+    python -m repro fig4 --scale smoke --trace run.jsonl
+    python -m repro trace-summary run.jsonl         # inspect the trace
 
 or via the installed entry point ``repro-sched``.
 """
@@ -20,6 +22,29 @@ from typing import Sequence
 from repro.experiments.config import PAPER_ULS, SCALES, ExperimentConfig
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: strictly positive integer (clear error, no hangs)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _trace_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL observability trace (spans, events, metrics) "
+        "of the whole run to PATH; inspect with 'repro trace-summary'",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,14 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--jobs",
-            type=int,
+            type=_positive_int,
             default=1,
             help="worker processes for the (UL, eps, instance) grid "
             "(figs 4-8; results are identical for any value)",
         )
         p.add_argument(
             "--workers",
-            type=int,
+            type=_positive_int,
             default=None,
             help="cluster worker processes (figs 2-8; overrides --jobs; "
             "crashed or hung workers are detected and their cells retried)",
@@ -83,9 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--metrics-json",
             default=None,
-            help="dump the cluster run metrics (throughput, utilization, "
-            "retries) to this JSON file (figs 2-8)",
+            help="deprecated: dump the cluster run metrics to this JSON "
+            "file (figs 2-8); prefer --trace, which captures the same "
+            "counters as gauges plus spans and lifecycle events",
         )
+        _trace_arg(p)
 
     for fig, help_text in [
         ("fig2", "GA evolution, minimizing makespan (Sec. 5.1)"),
@@ -101,17 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     def instance_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=42, help="instance seed")
-        p.add_argument("--tasks", type=int, default=50, help="number of tasks")
-        p.add_argument("--procs", type=int, default=4, help="number of processors")
+        p.add_argument(
+            "--tasks", type=_positive_int, default=50, help="number of tasks"
+        )
+        p.add_argument(
+            "--procs", type=_positive_int, default=4, help="number of processors"
+        )
         p.add_argument(
             "--ul", type=float, default=2.0, help="mean uncertainty level"
         )
+        _trace_arg(p)
 
     solve = sub.add_parser("solve", help="solve one random instance end-to-end")
     instance_args(solve)
     solve.add_argument("--epsilon", type=float, default=1.0, help="eps budget")
     solve.add_argument(
-        "--realizations", type=int, default=500, help="Monte-Carlo realizations"
+        "--realizations",
+        type=_positive_int,
+        default=500,
+        help="Monte-Carlo realizations",
     )
 
     compare = sub.add_parser(
@@ -119,7 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     instance_args(compare)
     compare.add_argument(
-        "--realizations", type=int, default=500, help="Monte-Carlo realizations"
+        "--realizations",
+        type=_positive_int,
+        default=500,
+        help="Monte-Carlo realizations",
     )
 
     gantt = sub.add_parser("gantt", help="render a schedule as an ASCII Gantt chart")
@@ -178,6 +216,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sens.add_argument(
         "--sens-ul", type=float, default=4.0, help="fixed uncertainty level"
+    )
+
+    tsum = sub.add_parser(
+        "trace-summary",
+        help="render a human-readable summary of a --trace JSONL file",
+    )
+    tsum.add_argument("path", help="trace file written by --trace")
+    tsum.add_argument(
+        "--top",
+        type=_positive_int,
+        default=5,
+        help="histograms to show in full (default: 5)",
     )
     return parser
 
@@ -347,10 +397,46 @@ def _run_export(args: argparse.Namespace) -> str:
     return "\n".join(messages)
 
 
+def _run_trace_summary(args: argparse.Namespace) -> str:
+    from repro.obs import TraceSchemaError, load_trace, render_summary
+
+    try:
+        records = load_trace(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"no such trace file: {args.path}")
+    except TraceSchemaError as exc:
+        raise SystemExit(f"{args.path}: trace schema violation: {exc}")
+    return render_summary(records, top=args.top)
+
+
 def run(argv: Sequence[str] | None = None) -> str:
     """Execute the CLI and return the rendered output (testing hook)."""
     args = build_parser().parse_args(argv)
 
+    if args.command == "trace-summary":
+        return _run_trace_summary(args)
+    if getattr(args, "metrics_json", None):
+        print(
+            "note: --metrics-json is deprecated; prefer --trace PATH "
+            "(same counters, plus spans and lifecycle events)",
+            file=sys.stderr,
+        )
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return _dispatch(args)
+
+    from repro.obs import runtime as obs
+    from repro.obs.sinks import JsonlSink
+
+    obs.enable(JsonlSink(trace_path))
+    try:
+        with obs.trace(f"cli.{args.command}"):
+            return _dispatch(args)
+    finally:
+        obs.disable()
+
+
+def _dispatch(args: argparse.Namespace) -> str:
     if args.command == "solve":
         return _run_solve(args)
     if args.command == "compare":

@@ -1,7 +1,8 @@
 """Durable progress: a JSONL journal of completed tasks.
 
 Each completed task appends one self-contained line ``{"key", "seed",
-"retries", "elapsed", "result"}``; a run interrupted at any point (even
+"retries", "elapsed", "run_elapsed", "result"}``; a run interrupted at
+any point (even
 mid-line — the torn tail is ignored on load) can therefore be resumed by
 re-submitting the same specs: journaled keys are restored without
 re-execution, everything else runs.
@@ -61,6 +62,14 @@ class Checkpoint:
         self._encode = encode or (lambda x: x)
         self._decode = decode or (lambda x: x)
         self._file = None
+        #: Run-level wall time accumulated by the interrupted attempts this
+        #: journal records (max over per-record ``run_elapsed`` stamps);
+        #: populated by :meth:`load`, consumed by the scheduler so resumed
+        #: runs report monotonic elapsed/throughput metrics.
+        self.run_elapsed: float = 0.0
+        #: Summed task execution seconds of the journaled (restorable)
+        #: records; populated by :meth:`load`.
+        self.busy_elapsed: float = 0.0
 
     def load(self) -> dict[str, Any]:
         """Read the journal, returning ``{key: decoded_result}``.
@@ -72,6 +81,7 @@ class Checkpoint:
         if not self.path.exists():
             return {}
         results: dict[str, Any] = {}
+        task_elapsed: dict[str, float] = {}
         header_seen = False
         with self.path.open("r", encoding="utf-8") as fh:
             for line in fh:
@@ -105,6 +115,14 @@ class Checkpoint:
                     continue
                 if "key" in record:
                     results[record["key"]] = self._decode(record["result"])
+                    task_elapsed[record["key"]] = float(
+                        record.get("elapsed", 0.0) or 0.0
+                    )
+                    self.run_elapsed = max(
+                        self.run_elapsed,
+                        float(record.get("run_elapsed", 0.0) or 0.0),
+                    )
+        self.busy_elapsed = sum(task_elapsed.values())
         return results
 
     def record(
@@ -115,8 +133,14 @@ class Checkpoint:
         seed: int | tuple[int, ...] | None = None,
         retries: int = 0,
         elapsed: float = 0.0,
+        run_elapsed: float = 0.0,
     ) -> None:
-        """Append one completed task, flushed and fsynced for durability."""
+        """Append one completed task, flushed and fsynced for durability.
+
+        ``run_elapsed`` stamps the record with the run-level wall time at
+        append (including any pre-resume attempts), so a later resume can
+        continue the clock instead of restarting it from zero.
+        """
         if self._file is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             fresh = not self.path.exists() or self.path.stat().st_size == 0
@@ -134,6 +158,7 @@ class Checkpoint:
                 "seed": seed,
                 "retries": retries,
                 "elapsed": elapsed,
+                "run_elapsed": run_elapsed,
                 "result": self._encode(result),
             }
         )

@@ -40,6 +40,11 @@ class ClusterMetrics:
         Replacement workers started after crashes/hangs.
     busy_seconds:
         Summed wall-clock seconds workers spent executing tasks.
+    prior_elapsed:
+        Run time accumulated by earlier (interrupted) attempts of the
+        same logical run, carried through the checkpoint journal on
+        ``--resume`` so :attr:`elapsed` and :attr:`throughput` describe
+        the whole run, not just the post-restart slice.
     """
 
     n_tasks: int = 0
@@ -52,12 +57,13 @@ class ClusterMetrics:
     n_workers: int = 0
     respawns: int = 0
     busy_seconds: float = 0.0
+    prior_elapsed: float = 0.0
     _started: float = field(default_factory=time.perf_counter, repr=False)
 
     @property
     def elapsed(self) -> float:
-        """Seconds since this metrics object (the run) started."""
-        return time.perf_counter() - self._started
+        """Seconds of run time, including pre-resume attempts."""
+        return self.prior_elapsed + (time.perf_counter() - self._started)
 
     @property
     def throughput(self) -> float:
@@ -104,6 +110,7 @@ class ClusterMetrics:
             "n_workers": self.n_workers,
             "respawns": self.respawns,
             "busy_seconds": self.busy_seconds,
+            "prior_elapsed_seconds": self.prior_elapsed,
             "elapsed_seconds": self.elapsed,
             "throughput_per_s": self.throughput,
             "utilization": self.utilization,

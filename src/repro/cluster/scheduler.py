@@ -38,6 +38,7 @@ from repro.cluster.heartbeat import HeartbeatMonitor
 from repro.cluster.metrics import ClusterMetrics
 from repro.cluster.task import TaskFailure, TaskOutcome, TaskSpec, TaskState
 from repro.cluster.worker import worker_main
+from repro.obs import runtime as obs
 
 __all__ = ["ClusterConfig", "Scheduler", "run_tasks"]
 
@@ -194,17 +195,32 @@ class Scheduler:
             k for k in self._order if not self._waiting[k]
         )
 
-        self._restore_from_checkpoint()
+        with obs.trace(
+            "cluster.run",
+            n_tasks=len(specs),
+            n_workers=self.config.n_workers,
+        ) as run_span:
+            self._restore_from_checkpoint()
 
-        if not self._unfinished():
-            pass
-        elif self.config.n_workers <= 1:
-            self._run_serial()
-        else:
-            self._run_pool()
+            if not self._unfinished():
+                pass
+            elif self.config.n_workers <= 1:
+                self._run_serial()
+            else:
+                self._run_pool()
 
-        if self.checkpoint is not None:
-            self.checkpoint.close()
+            if self.checkpoint is not None:
+                self.checkpoint.close()
+            if obs.enabled():
+                snap = self.metrics.snapshot()
+                run_span.set(
+                    done=snap["done"],
+                    failed=snap["failed"],
+                    retried=snap["retried"],
+                    restored=snap["restored"],
+                )
+                for name, value in snap.items():
+                    obs.set_gauge(f"cluster.{name}", float(value))
         return {k: self._outcomes[k] for k in self._order}
 
     def _unfinished(self) -> int:
@@ -216,6 +232,10 @@ class Scheduler:
         if self.checkpoint is None:
             return
         stored = self.checkpoint.load()
+        # Carry the interrupted attempts' clocks forward so elapsed,
+        # throughput and utilization stay monotonic across --resume.
+        self.metrics.prior_elapsed = self.checkpoint.run_elapsed
+        self.metrics.busy_seconds += self.checkpoint.busy_elapsed
         for key in self._order:
             if key in stored and key not in self._outcomes:
                 self.metrics.restored += 1
@@ -238,6 +258,8 @@ class Scheduler:
         self.metrics.queued = max(self.metrics.queued - 1, 0)
         if outcome.state is TaskState.DONE:
             self.metrics.done += 1
+            if not outcome.from_checkpoint:
+                obs.observe("cluster.task_seconds", outcome.duration)
             if journal and self.checkpoint is not None:
                 spec = self._specs[key]
                 self.checkpoint.record(
@@ -246,7 +268,9 @@ class Scheduler:
                     seed=spec.seed,
                     retries=outcome.retries,
                     elapsed=outcome.duration,
+                    run_elapsed=self.metrics.elapsed,
                 )
+                obs.event("cluster.checkpoint_append", key=key)
             for child in self._dependents[key]:
                 waiting = self._waiting[child]
                 waiting.discard(key)
@@ -282,6 +306,7 @@ class Scheduler:
         return None
 
     def _record_failure(self, key: str, error: str, worker: int | None) -> None:
+        obs.event("cluster.task_failed", key=key, worker=worker)
         self._finish(
             TaskOutcome(
                 key=key,
@@ -298,6 +323,12 @@ class Scheduler:
         if self._retries[key] <= self._specs[key].max_retries:
             self.metrics.retried += 1
             self._ready.appendleft(key)
+            obs.event(
+                "cluster.requeue",
+                key=key,
+                attempt=self._retries[key],
+                worker=worker,
+            )
             if self.progress is not None:
                 self.progress(self.metrics.status_line())
         else:
@@ -320,10 +351,11 @@ class Scheduler:
             self.metrics.running = 1
             start = time.perf_counter()
             try:
-                if dep_results is not None:
-                    result = spec.fn(dep_results, *spec.args, **spec.kwargs)
-                else:
-                    result = spec.fn(*spec.args, **spec.kwargs)
+                with obs.trace("cluster.task", key=key):
+                    if dep_results is not None:
+                        result = spec.fn(dep_results, *spec.args, **spec.kwargs)
+                    else:
+                        result = spec.fn(*spec.args, **spec.kwargs)
             except Exception:
                 self.metrics.running = 0
                 self._retry_or_fail(key, traceback.format_exc(), None)
@@ -373,6 +405,7 @@ class Scheduler:
         self._workers[wid] = _WorkerHandle(wid, proc, parent_conn)
         self._monitor.register(wid)
         self.metrics.n_workers = len(self._workers)
+        obs.event("cluster.worker_spawn", worker=wid)
 
     def _dispatch(self) -> None:
         for handle in self._workers.values():
@@ -391,6 +424,7 @@ class Scheduler:
                         spec.args,
                         spec.kwargs,
                         self._dep_results(spec),
+                        obs.enabled(),
                     )
                 )
             except (BrokenPipeError, OSError):
@@ -422,8 +456,9 @@ class Scheduler:
                 kind = message[0]
                 if kind in ("heartbeat", "ready"):
                     continue
-                _, wid, key, payload, duration = message
+                _, wid, key, payload, duration, events = message
                 self.metrics.busy_seconds += duration
+                obs.ingest(events)
                 if handle.current == key:
                     handle.current = None
                 if key in self._outcomes:
@@ -454,6 +489,7 @@ class Scheduler:
         for wid in self._monitor.overdue():
             handle = self._workers.get(wid)
             if handle is not None and handle.proc.is_alive():
+                obs.event("cluster.heartbeat_miss", worker=wid)
                 handle.proc.kill()
                 handle.proc.join(timeout=5.0)
                 lost.append(
@@ -474,16 +510,18 @@ class Scheduler:
         """Retire a dead/hung worker, requeueing its in-flight task."""
         if handle.id not in self._workers:
             return  # already retired via another detection path
+        obs.event("cluster.worker_lost", worker=handle.id, reason=reason)
         # Drain any result that raced with the crash (sent, then died).
         try:
             while handle.conn.poll():
                 message = handle.conn.recv()
                 if message[0] in ("result", "error"):
-                    _, wid, key, payload, duration = message
+                    _, wid, key, payload, duration, events = message
                     if handle.current == key:
                         handle.current = None
                     if key not in self._outcomes and message[0] == "result":
                         self.metrics.busy_seconds += duration
+                        obs.ingest(events)
                         self._finish(
                             TaskOutcome(
                                 key=key,

@@ -9,14 +9,19 @@ pipe is not thread-safe between the beat thread and result sends.
 Message protocol (tuples, first element is the kind):
 
 scheduler -> worker
-    ``("task", key, fn, args, kwargs, dep_results)``
+    ``("task", key, fn, args, kwargs, dep_results, trace)``
     ``("stop",)``
 
 worker -> scheduler
     ``("ready", worker_id)``              once, after startup
     ``("heartbeat", worker_id)``          every interval
-    ``("result", worker_id, key, result, duration)``
-    ``("error", worker_id, key, traceback_str, duration)``
+    ``("result", worker_id, key, result, duration, events)``
+    ``("error", worker_id, key, traceback_str, duration, events)``
+
+``trace`` asks the worker to run the task under a local in-memory
+observability session (:mod:`repro.obs`); ``events`` ships the captured
+span/event/metric records back (``None`` when tracing was off), and the
+scheduler splices them into its own trace under the run span.
 
 Task exceptions are caught and reported as ``error`` messages — the
 worker survives and pulls the next task; retry policy lives in the
@@ -33,8 +38,39 @@ import traceback
 __all__ = ["worker_main"]
 
 
+def _run_traced(key, fn, args, kwargs, dep_results):
+    """Execute one task under a local obs session.
+
+    Returns ``(result, error_traceback_or_None, events)``.  Capture is
+    best-effort: the session is torn down even when the task raises, and
+    whatever was recorded up to the exception still ships back (the
+    ``cluster.task`` span closes with error status).
+    """
+    from repro.obs import runtime as obs
+    from repro.obs.sinks import InMemorySink
+
+    session = obs.enable(InMemorySink())
+    result = error = None
+    try:
+        try:
+            with obs.trace("cluster.task", key=key):
+                if dep_results is not None:
+                    result = fn(dep_results, *args, **kwargs)
+                else:
+                    result = fn(*args, **kwargs)
+        except BaseException:
+            error = traceback.format_exc()
+        events = session.drain_records()
+    finally:
+        obs.disable()
+    return result, error, events
+
+
 def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
     """Entry point of one worker process (module-level: spawn-safe)."""
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.reset_inherited()  # a fork-inherited session is the parent's
     send_lock = threading.Lock()
     stop_beating = threading.Event()
 
@@ -63,8 +99,20 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
                 break
             if message[0] == "stop":
                 break
-            _, key, fn, args, kwargs, dep_results = message
+            _, key, fn, args, kwargs, dep_results, want_trace = message
             start = time.perf_counter()
+            if want_trace:
+                result, error, events = _run_traced(
+                    key, fn, args, kwargs, dep_results
+                )
+                duration = time.perf_counter() - start
+                if error is not None:
+                    message = ("error", worker_id, key, error, duration, events)
+                else:
+                    message = ("result", worker_id, key, result, duration, events)
+                if not _send(message):
+                    break
+                continue
             try:
                 if dep_results is not None:
                     result = fn(dep_results, *args, **kwargs)
@@ -73,12 +121,21 @@ def worker_main(conn, worker_id: int, heartbeat_interval: float) -> None:
             except BaseException:
                 duration = time.perf_counter() - start
                 if not _send(
-                    ("error", worker_id, key, traceback.format_exc(), duration)
+                    (
+                        "error",
+                        worker_id,
+                        key,
+                        traceback.format_exc(),
+                        duration,
+                        None,
+                    )
                 ):
                     break
             else:
                 duration = time.perf_counter() - start
-                if not _send(("result", worker_id, key, result, duration)):
+                if not _send(
+                    ("result", worker_id, key, result, duration, None)
+                ):
                     break
     finally:
         stop_beating.set()

@@ -32,6 +32,7 @@ from repro.ga.crossover import single_point_crossover
 from repro.ga.fitness import FitnessPolicy, Individual
 from repro.ga.mutation import mutate
 from repro.ga.selection import binary_tournament
+from repro.obs import runtime as obs
 from repro.schedule.evaluation import evaluate
 from repro.utils.rng import as_generator
 
@@ -266,11 +267,13 @@ class GeneticScheduler:
         # Pair the intermediate population; each pair crosses with pc.
         perm = gen.permutation(n_pop)
         offspring: list[Chromosome] = []
+        n_crossovers = 0
         i = 0
         while i + 1 < n_pop:
             a, b = parents[perm[i]], parents[perm[i + 1]]
             if gen.random() < params.crossover_prob:
                 c1, c2 = self.crossover_fn(a, b, gen)
+                n_crossovers += 1
             else:
                 c1, c2 = a, b
             offspring.extend((c1, c2))
@@ -279,75 +282,123 @@ class GeneticScheduler:
             offspring.append(parents[perm[i]])
 
         # Per-individual mutation with pm.
-        return [
-            self.mutation_fn(problem, c, gen)
-            if gen.random() < params.mutation_prob
-            else c
-            for c in offspring
-        ]
+        children: list[Chromosome] = []
+        n_mutations = 0
+        for c in offspring:
+            if gen.random() < params.mutation_prob:
+                children.append(self.mutation_fn(problem, c, gen))
+                n_mutations += 1
+            else:
+                children.append(c)
+        if obs.enabled():
+            obs.add("ga.crossovers", n_crossovers)
+            obs.add("ga.mutations", n_mutations)
+        return children
 
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
+
+    def _feasible_fraction(self, individuals: list[Individual]) -> float | None:
+        """Fraction of the population satisfying the fitness policy's
+        constraint, when it has one (``is_feasible``); ``None`` otherwise."""
+        is_feasible = getattr(self.fitness, "is_feasible", None)
+        if is_feasible is None or not individuals:
+            return None
+        n_ok = sum(1 for ind in individuals if is_feasible(ind.makespan))
+        return n_ok / len(individuals)
 
     def run(self, problem: SchedulingProblem) -> GAResult:
         """Evolve schedules for *problem* and return the best found."""
         params = self.params
         cache: dict[bytes, Individual] = {}
 
-        population = self._initial_population(problem)
-        individuals = [self._evaluate(problem, c, cache) for c in population]
-        scores = self.fitness.scores(individuals)
+        run_span = obs.trace(
+            "ga.run",
+            fitness=getattr(self.fitness, "name", "?"),
+            n_tasks=problem.n,
+            population=params.population_size,
+        )
+        with run_span:
+            population = self._initial_population(problem)
+            individuals = [self._evaluate(problem, c, cache) for c in population]
+            scores = self.fitness.scores(individuals)
 
-        best_idx = int(np.argmax(scores))
-        best_ind = individuals[best_idx]
-        best_score = float(scores[best_idx])
+            best_idx = int(np.argmax(scores))
+            best_ind = individuals[best_idx]
+            best_score = float(scores[best_idx])
 
-        history = GAHistory()
-        history.record(best_ind, best_score, scores, population)
-
-        stagnation = 0
-        generations = 0
-        stop_reason = "max_iterations"
-        for _ in range(params.max_iterations):
-            generations += 1
-
-            selected_idx = binary_tournament(scores, self._rng)
-            intermediate = [population[i] for i in selected_idx]
-            children = self._next_generation(problem, intermediate)
-
-            new_individuals = [self._evaluate(problem, c, cache) for c in children]
-            new_scores = self.fitness.scores(new_individuals)
-
-            # Elitism: worst of the new generation is replaced by the
-            # incumbent best (Sec. 4.2.3), then population-based fitness is
-            # refreshed because the replacement may shift the feasible set.
-            worst = int(np.argmin(new_scores))
-            children[worst] = best_ind.chromosome
-            new_individuals[worst] = best_ind
-            new_scores = self.fitness.scores(new_individuals)
-
-            population = children
-            individuals = new_individuals
-            scores = new_scores
-
-            gen_best = int(np.argmax(scores))
-            gen_best_score = float(scores[gen_best])
-            improved = gen_best_score > best_score * (1.0 + 1e-12) or (
-                best_score <= 0.0 and gen_best_score > best_score + 1e-15
-            )
-            if improved:
-                best_ind = individuals[gen_best]
-                best_score = gen_best_score
-                stagnation = 0
-            else:
-                stagnation += 1
-
+            history = GAHistory()
             history.record(best_ind, best_score, scores, population)
 
-            if stagnation >= params.stagnation_limit:
-                stop_reason = "stagnation"
-                break
+            stagnation = 0
+            generations = 0
+            stop_reason = "max_iterations"
+            for _ in range(params.max_iterations):
+                generations += 1
+
+                with obs.trace("ga.generation", gen=generations) as gen_span:
+                    selected_idx = binary_tournament(scores, self._rng)
+                    intermediate = [population[i] for i in selected_idx]
+                    children = self._next_generation(problem, intermediate)
+
+                    new_individuals = [
+                        self._evaluate(problem, c, cache) for c in children
+                    ]
+                    new_scores = self.fitness.scores(new_individuals)
+
+                    # Elitism: worst of the new generation is replaced by the
+                    # incumbent best (Sec. 4.2.3), then population-based
+                    # fitness is refreshed because the replacement may shift
+                    # the feasible set.
+                    worst = int(np.argmin(new_scores))
+                    children[worst] = best_ind.chromosome
+                    new_individuals[worst] = best_ind
+                    new_scores = self.fitness.scores(new_individuals)
+
+                    population = children
+                    individuals = new_individuals
+                    scores = new_scores
+
+                    gen_best = int(np.argmax(scores))
+                    gen_best_score = float(scores[gen_best])
+                    improved = gen_best_score > best_score * (1.0 + 1e-12) or (
+                        best_score <= 0.0 and gen_best_score > best_score + 1e-15
+                    )
+                    if improved:
+                        best_ind = individuals[gen_best]
+                        best_score = gen_best_score
+                        stagnation = 0
+                    else:
+                        stagnation += 1
+
+                    history.record(best_ind, best_score, scores, population)
+
+                    if obs.enabled():
+                        # Convergence telemetry rides on the generation span.
+                        gen_span.set(
+                            best_fitness=best_score,
+                            mean_fitness=float(scores.mean()),
+                            best_makespan=best_ind.makespan,
+                            diversity=history.diversity[-1],
+                            improved=improved,
+                        )
+                        frac = self._feasible_fraction(individuals)
+                        if frac is not None:
+                            gen_span.set(feasible_fraction=frac)
+
+                if stagnation >= params.stagnation_limit:
+                    stop_reason = "stagnation"
+                    break
+
+            if obs.enabled():
+                obs.add("ga.generations", generations)
+                run_span.set(
+                    generations=generations,
+                    stop_reason=stop_reason,
+                    best_fitness=best_score,
+                    best_makespan=best_ind.makespan,
+                )
 
         return GAResult(
             best=best_ind,

@@ -32,6 +32,7 @@ from repro.core.problem import SchedulingProblem
 from repro.ga.chromosome import Chromosome
 from repro.ga.engine import GAParams, GAResult, GeneticScheduler
 from repro.ga.fitness import FitnessPolicy
+from repro.obs import runtime as obs
 from repro.utils.rng import as_generator
 
 __all__ = ["IslandParams", "IslandResult", "IslandGeneticScheduler"]
@@ -141,6 +142,7 @@ def _island_epoch_task(
         if migrant.key() not in {c.key() for c in pool}:
             pool.insert(0, migrant)
             del pool[pop_size:]
+            obs.add("ga.island.migrations")
         seed_population = pool
     params = (
         epoch_params
@@ -154,7 +156,8 @@ def _island_epoch_task(
         duration_matrix=None,
         seed_population=seed_population,
     )
-    result = engine.run(problem)
+    with obs.trace("ga.island_epoch", epoch=epoch, island=island):
+        result = engine.run(problem)
     return {
         "result": result,
         "elites": _elites_of(result, pop_size),
@@ -245,7 +248,8 @@ class IslandGeneticScheduler:
                     seed_population=populations[i],
                 )
                 k += 1
-                result = engine.run(problem)
+                with obs.trace("ga.island_epoch", epoch=epoch, island=i):
+                    result = engine.run(problem)
                 results[i] = result
                 # Island's next-epoch population: elites of this epoch —
                 # approximate with the per-generation best chromosomes
@@ -261,6 +265,7 @@ class IslandGeneticScheduler:
                 if bests[i].key() not in {c.key() for c in pool}:
                     pool.insert(0, bests[i])
                     del pool[self.ga_params.population_size :]
+                    obs.add("ga.island.migrations")
 
         final = [r for r in results if r is not None]
         best = max(final, key=lambda r: r.best_fitness)

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.graph import _native
 from repro.graph.taskgraph import TaskGraph
+from repro.obs import runtime as _obs
 
 __all__ = [
     "ArrayDag",
@@ -658,7 +659,16 @@ class ArrayDag:
         available fallback and produces bit-identical results.
         """
         lib = _native.get_lib()
-        if lib is not None and self.n and node_w.shape[0] >= 8:
+        use_native = lib is not None and self.n and node_w.shape[0] >= 8
+        if _obs.enabled():
+            # Which implementation the wide-batch hot path actually ran —
+            # surfaces silent numpy fallbacks (no compiler, REPRO_NATIVE=0).
+            _obs.add(
+                "kernel.batch_forward.native"
+                if use_native
+                else "kernel.batch_forward.numpy"
+            )
+        if use_native:
             return self._finish_node_major_native(lib, node_w, edge_w)
         return self._finish_node_major_numpy(node_w, edge_w)
 

@@ -1,0 +1,208 @@
+"""Metrics registry: counters, gauges, log-binned histograms.
+
+Metrics are cheap accumulators updated from anywhere in the process and
+exported once, when the session flushes.  Histograms use **fixed
+log-spaced bins** (default 9 decades, 5 bins per decade from 1 µs to
+1000 s — sized for wall-clock durations in seconds) so two runs of the
+same program produce structurally identical records and bins never need
+rebalancing; values outside the range land in the open-ended first/last
+bins.
+
+Export order is sorted by metric name — deterministic regardless of
+update order.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int | float = 1) -> None:
+        """Increment by *n* (must be non-negative)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (add {n})")
+        self.value += n
+
+    def to_record(self) -> dict:
+        """Export as a JSON-compatible trace record."""
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins named value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge value."""
+        self.value = float(value)
+
+    def to_record(self) -> dict:
+        """Export as a JSON-compatible trace record."""
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed log-spaced-bin histogram of positive samples.
+
+    Parameters
+    ----------
+    lo, hi:
+        Edge range; the first bin additionally catches everything below
+        *lo* (including zero and negative values) and the last bin
+        everything at or above *hi*.
+    bins_per_decade:
+        Resolution; the default 5 distinguishes ~1.58x ratios.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        lo: float = 1e-6,
+        hi: float = 1e3,
+        bins_per_decade: int = 5,
+    ) -> None:
+        if not (0 < lo < hi):
+            raise ValueError(f"need 0 < lo < hi, got lo={lo}, hi={hi}")
+        self.name = name
+        n_edges = int(round(math.log10(hi / lo) * bins_per_decade)) + 1
+        self.edges = [
+            lo * 10.0 ** (i / bins_per_decade) for i in range(n_edges)
+        ]
+        self.counts = [0] * (n_edges + 1)  # +1: underflow and overflow ends
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample into its log-spaced bin."""
+        value = float(value)
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bins into this one."""
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different bins: {self.name!r}"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_record(self) -> dict:
+        """Export as a JSON-compatible trace record (bins included)."""
+        return {
+            "type": "hist",
+            "name": self.name,
+            "edges": self.edges,
+            "counts": self.counts,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Histogram":
+        """Rebuild (bins included) from a :meth:`to_record` dict."""
+        hist = cls.__new__(cls)
+        hist.name = record["name"]
+        hist.edges = list(record["edges"])
+        hist.counts = list(record["counts"])
+        hist.count = record["count"]
+        hist.total = record["sum"]
+        hist.min = record["min"] if record["min"] is not None else math.inf
+        hist.max = record["max"] if record["max"] is not None else -math.inf
+        return hist
+
+
+class MetricsRegistry:
+    """Name-keyed store of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        """Get or create the histogram *name* (kwargs only on creation)."""
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, **kwargs)
+        return h
+
+    def merge_record(self, record: dict) -> None:
+        """Fold one exported metric record (e.g. from a worker) in."""
+        kind = record["type"]
+        if kind == "counter":
+            self.counter(record["name"]).add(record["value"])
+        elif kind == "gauge":
+            if record["value"] is not None:
+                self.gauge(record["name"]).set(record["value"])
+        elif kind == "hist":
+            incoming = Histogram.from_record(record)
+            existing = self.histograms.get(record["name"])
+            if existing is None:
+                self.histograms[record["name"]] = incoming
+            else:
+                existing.merge(incoming)
+        else:
+            raise ValueError(f"not a metric record: {kind!r}")
+
+    def export(self) -> list[dict]:
+        """All metric records, sorted by (type, name) — deterministic."""
+        records = []
+        for name in sorted(self.counters):
+            records.append(self.counters[name].to_record())
+        for name in sorted(self.gauges):
+            records.append(self.gauges[name].to_record())
+        for name in sorted(self.histograms):
+            records.append(self.histograms[name].to_record())
+        return records

@@ -1,0 +1,175 @@
+"""Module-level observability session: the enable/disable switch.
+
+One process holds at most one active :class:`Session`.  Instrumentation
+points throughout the library call the module-level facade functions —
+:func:`trace`, :func:`event`, :func:`add`, :func:`set_gauge`,
+:func:`observe` — which are no-ops (one global read) while no session is
+active.  Call sites that would compute non-trivial attribute values
+first guard on :func:`enabled`.
+
+The session owns the sink: :func:`disable` exports the metrics registry
+into the sink (sorted, deterministic) and closes it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sinks import InMemorySink, Sink
+from repro.obs.spans import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "Session",
+    "enable",
+    "disable",
+    "enabled",
+    "reset_inherited",
+    "session",
+    "trace",
+    "event",
+    "add",
+    "set_gauge",
+    "observe",
+    "ingest",
+]
+
+
+class Session:
+    """One live observability context: tracer + registry + sink."""
+
+    def __init__(self, sink: Sink, *, clock=time.perf_counter) -> None:
+        self.sink = sink
+        self.clock = clock
+        self.epoch = clock()
+        self.tracer = Tracer(sink.write, clock, self.epoch)
+        self.registry = MetricsRegistry()
+        self.closed = False
+
+    def flush_metrics(self) -> None:
+        """Emit the registry's records into the sink (idempotent append)."""
+        for record in self.registry.export():
+            self.sink.write(record)
+
+    def close(self) -> None:
+        """Flush the metrics registry into the sink and close it (once)."""
+        if not self.closed:
+            self.closed = True
+            self.flush_metrics()
+            self.sink.close()
+
+    def drain_records(self) -> list[dict]:
+        """Span/event records so far plus current metrics, as plain dicts.
+
+        Only meaningful for :class:`InMemorySink` sessions; used by
+        cluster workers to ship their capture back to the scheduler.
+        """
+        if not isinstance(self.sink, InMemorySink):
+            raise TypeError("drain_records requires an InMemorySink session")
+        return list(self.sink.records) + self.registry.export()
+
+
+_session: Session | None = None
+
+
+def enable(sink: Sink | None = None, *, clock=time.perf_counter) -> Session:
+    """Start observing; returns the new session.
+
+    Raises if a session is already active — nested enables would silently
+    split the stream (disable the current session first).
+    """
+    global _session
+    if _session is not None:
+        raise RuntimeError("an obs session is already active; disable() it first")
+    _session = Session(sink if sink is not None else InMemorySink(), clock=clock)
+    return _session
+
+
+def disable() -> Session | None:
+    """Stop observing: flush metrics, close the sink, return the session."""
+    global _session
+    s = _session
+    _session = None
+    if s is not None:
+        s.close()
+    return s
+
+
+def reset_inherited() -> None:
+    """Forget a session inherited across ``fork`` without closing it.
+
+    A forked child shares the parent's module globals; flushing or
+    closing the parent's sink from the child would corrupt the parent's
+    stream, so the child just drops the reference.  Cluster workers call
+    this at startup before opening their own capture sessions.
+    """
+    global _session
+    _session = None
+
+
+def enabled() -> bool:
+    """True while a session is active (call-site guard for costly attrs)."""
+    return _session is not None
+
+
+def session() -> Session | None:
+    """The active session, if any."""
+    return _session
+
+
+def trace(name: str, **attrs: Any) -> Span:
+    """Open a span: ``with obs.trace("ga.run", n=problem.n) as sp:``.
+
+    While disabled, returns a shared no-op context manager.
+    """
+    s = _session
+    if s is None:
+        return NOOP_SPAN  # type: ignore[return-value]
+    return s.tracer.start(name, attrs)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Emit a zero-duration point event under the current span."""
+    s = _session
+    if s is not None:
+        s.tracer.point(name, attrs)
+
+
+def add(name: str, n: int | float = 1) -> None:
+    """Increment counter *name* by *n* (no-op while disabled)."""
+    s = _session
+    if s is not None:
+        s.registry.counter(name).add(n)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge *name* (no-op while disabled)."""
+    s = _session
+    if s is not None:
+        s.registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record *value* into histogram *name* (no-op while disabled)."""
+    s = _session
+    if s is not None:
+        s.registry.histogram(name).observe(value)
+
+
+def ingest(records: list[dict] | None) -> None:
+    """Splice a foreign capture (e.g. a cluster worker's
+    :meth:`Session.drain_records`) into the active session.
+
+    Span/event records are remapped under the current span; metric
+    records are merged into the registry.  No-op while disabled.
+    """
+    s = _session
+    if s is None or not records:
+        return
+    s.tracer.ingest(
+        [r for r in records if r.get("type") in ("span", "event")]
+    )
+    for r in records:
+        if r.get("type") in ("counter", "gauge", "hist"):
+            s.registry.merge_record(r)

@@ -1,0 +1,117 @@
+"""Trace sinks: where span/event/metric records go.
+
+A sink receives JSON-compatible dicts via :meth:`Sink.write` and is
+closed exactly once when the session ends.  Two concrete sinks cover the
+library's needs:
+
+* :class:`InMemorySink` — accumulates records in a list; used by tests
+  and by cluster workers, whose records are shipped back to the
+  scheduler with the task result and spliced into the main stream.
+* :class:`JsonlSink` — one record per line; the ``--trace out.jsonl``
+  CLI stream.  A ``meta`` header line pins format and version so
+  ``repro trace-summary`` can reject foreign files.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+__all__ = ["Sink", "InMemorySink", "JsonlSink", "TRACE_FORMAT", "TRACE_VERSION"]
+
+TRACE_FORMAT = "repro.trace"
+TRACE_VERSION = 1
+
+
+def meta_record() -> dict:
+    """The header record every JSONL trace stream starts with."""
+    return {"type": "meta", "format": TRACE_FORMAT, "version": TRACE_VERSION}
+
+
+class Sink:
+    """Sink interface; subclass and override :meth:`write` (and maybe
+    :meth:`close`)."""
+
+    def write(self, record: dict) -> None:  # pragma: no cover - interface
+        """Receive one JSON-compatible record."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; called once by the session."""
+
+
+class InMemorySink(Sink):
+    """Record list in memory — tests, worker-side capture."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.closed = False
+
+    def write(self, record: dict) -> None:
+        """Append the record to :attr:`records`."""
+        self.records.append(record)
+
+    def close(self) -> None:
+        """Mark the sink closed (records stay readable)."""
+        self.closed = True
+
+    def spans(self, name: str | None = None) -> list[dict]:
+        """Span records, optionally filtered by name (test convenience)."""
+        return [
+            r
+            for r in self.records
+            if r.get("type") == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: str | None = None) -> list[dict]:
+        """Event records, optionally filtered by name."""
+        return [
+            r
+            for r in self.records
+            if r.get("type") == "event" and (name is None or r["name"] == name)
+        ]
+
+
+class JsonlSink(Sink):
+    """Append records to *path*, one JSON object per line.
+
+    The file is opened (and the header written) lazily on the first
+    record, truncating any previous content — a trace file always
+    describes exactly one run.  Keys keep insertion order (the emitters
+    use a fixed key order) and floats round-trip exactly, so serial runs
+    produce line-diffable streams.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._file = None
+
+    def _ensure_open(self):
+        if self._file is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self.path.open("w", encoding="utf-8")
+            self._file.write(json.dumps(meta_record()) + "\n")
+        return self._file
+
+    def write(self, record: dict) -> None:
+        """Serialize the record as one strict-JSON line."""
+        self._ensure_open().write(
+            json.dumps(record, allow_nan=False, default=_json_default) + "\n"
+        )
+
+    def close(self) -> None:
+        """Flush and close the file (writing the header if nothing was)."""
+        # Header even for an empty run: the file must identify itself.
+        fh = self._ensure_open()
+        fh.flush()
+        fh.close()
+        self._file = None
+
+
+def _json_default(value):
+    """Last-resort coercions for attribute values (numpy, paths, sets)."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (set, frozenset, tuple)):
+        return sorted(value) if isinstance(value, (set, frozenset)) else list(value)
+    return str(value)

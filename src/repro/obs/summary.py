@@ -1,0 +1,285 @@
+"""Trace loading, schema validation and the human-readable summary.
+
+This is the read side of the JSONL trace stream: ``repro trace-summary
+out.jsonl`` loads the records, validates them against the schema (the CI
+smoke run fails on violations), and renders
+
+* the **span tree** with wall-time attribution: spans aggregated by
+  their name-path, with call counts, total and self time (total minus
+  the time attributed to child spans), sorted heaviest-first;
+* the **counters and gauges**;
+* the **top-k histograms** (by sample count) with their populated bins.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.sinks import TRACE_FORMAT, TRACE_VERSION
+
+__all__ = ["TraceSchemaError", "load_trace", "validate_records", "render_summary"]
+
+
+class TraceSchemaError(ValueError):
+    """A trace record does not match the documented JSONL schema."""
+
+
+_SPAN_KEYS = {"type", "id", "parent", "name", "t0", "t1", "dur", "status", "attrs"}
+_EVENT_KEYS = {"type", "id", "parent", "name", "t", "attrs"}
+_HIST_KEYS = {"type", "name", "edges", "counts", "count", "sum", "min", "max"}
+
+
+def _fail(lineno: int | None, message: str) -> None:
+    where = f"record {lineno}: " if lineno is not None else ""
+    raise TraceSchemaError(f"{where}{message}")
+
+
+def _check_number(record: dict, key: str, lineno: int | None) -> None:
+    value = record.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(lineno, f"{record.get('type')}.{key} must be a number, got {value!r}")
+
+
+def validate_records(records: list[dict], *, require_meta: bool = True) -> None:
+    """Raise :class:`TraceSchemaError` on the first malformed record.
+
+    The schema (see ``docs/observability.md``): a ``meta`` header, then
+    any number of ``span`` / ``event`` records (ids unique, parents
+    resolving to earlier-allocated ids), then/interleaved ``counter`` /
+    ``gauge`` / ``hist`` metric records.
+    """
+    if require_meta:
+        if not records:
+            _fail(None, "empty trace: missing meta header")
+        head = records[0]
+        if head.get("type") != "meta":
+            _fail(1, f"first record must be the meta header, got {head.get('type')!r}")
+        if head.get("format") != TRACE_FORMAT:
+            _fail(1, f"not a {TRACE_FORMAT} stream: format={head.get('format')!r}")
+        if head.get("version") != TRACE_VERSION:
+            _fail(1, f"unsupported trace version {head.get('version')!r}")
+
+    seen_ids: set[int] = set()
+    for lineno, record in enumerate(records, start=1):
+        kind = record.get("type")
+        if kind == "meta":
+            if lineno != 1:
+                _fail(lineno, "meta header must be the first record")
+            continue
+        if kind == "span":
+            missing = _SPAN_KEYS - record.keys()
+            if missing:
+                _fail(lineno, f"span record missing keys {sorted(missing)}")
+            for key in ("t0", "t1", "dur"):
+                _check_number(record, key, lineno)
+            if record["t1"] < record["t0"]:
+                _fail(lineno, f"span {record['name']!r} ends before it starts")
+            if record["status"] not in ("ok", "error"):
+                _fail(lineno, f"span status must be ok|error, got {record['status']!r}")
+        elif kind == "event":
+            missing = _EVENT_KEYS - record.keys()
+            if missing:
+                _fail(lineno, f"event record missing keys {sorted(missing)}")
+            _check_number(record, "t", lineno)
+        elif kind in ("counter", "gauge"):
+            if "name" not in record or "value" not in record:
+                _fail(lineno, f"{kind} record missing name/value")
+            if kind == "counter":
+                _check_number(record, "value", lineno)
+        elif kind == "hist":
+            missing = _HIST_KEYS - record.keys()
+            if missing:
+                _fail(lineno, f"hist record missing keys {sorted(missing)}")
+            edges, counts = record["edges"], record["counts"]
+            if not isinstance(edges, list) or not isinstance(counts, list):
+                _fail(lineno, "hist edges/counts must be lists")
+            if len(counts) != len(edges) + 1:
+                _fail(lineno, "hist needs len(counts) == len(edges) + 1")
+            if any(b < a for a, b in zip(edges, edges[1:])):
+                _fail(lineno, "hist edges must be non-decreasing")
+            if sum(counts) != record["count"]:
+                _fail(lineno, "hist count does not equal sum of bin counts")
+        else:
+            _fail(lineno, f"unknown record type {kind!r}")
+
+        if kind in ("span", "event"):
+            if not isinstance(record["id"], int) or record["id"] < 1:
+                _fail(lineno, f"{kind} id must be a positive integer")
+            if record["id"] in seen_ids:
+                _fail(lineno, f"duplicate {kind} id {record['id']}")
+            seen_ids.add(record["id"])
+            parent = record["parent"]
+            if parent is not None and not isinstance(parent, int):
+                _fail(lineno, f"{kind} parent must be an integer or null")
+            if not isinstance(record.get("name"), str) or not record["name"]:
+                _fail(lineno, f"{kind} name must be a non-empty string")
+            if not isinstance(record.get("attrs"), dict):
+                _fail(lineno, f"{kind} attrs must be an object")
+
+
+def load_trace(path: str | pathlib.Path, *, validate: bool = True) -> list[dict]:
+    """Read a JSONL trace file; optionally schema-validate it."""
+    path = pathlib.Path(path)
+    records: list[dict] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                raise TraceSchemaError(f"{path}:{lineno}: not JSON: {err}") from None
+            if not isinstance(record, dict):
+                raise TraceSchemaError(f"{path}:{lineno}: record must be an object")
+            records.append(record)
+    if validate:
+        validate_records(records)
+    return records
+
+
+# --------------------------------------------------------------------- render
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.2f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.2f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def _aggregate(span_records: list[dict], parent_of: dict[int, int | None]):
+    """Group spans by name-path into a nested {name: _Node} tree."""
+    nodes: dict[int, dict] = {r["id"]: r for r in span_records}
+
+    class _Node:
+        __slots__ = ("count", "total", "child_total", "errors", "children")
+
+        def __init__(self) -> None:
+            self.count = 0
+            self.total = 0.0
+            self.child_total = 0.0
+            self.errors = 0
+            self.children: dict[str, _Node] = {}
+
+    root = _Node()
+    # Map span id -> aggregation node, built in id (start) order so a
+    # child's parent is always resolved first.
+    agg_of: dict[int, _Node] = {}
+    for rid in sorted(nodes):
+        record = nodes[rid]
+        parent = parent_of.get(rid)
+        parent_agg = agg_of.get(parent, root) if parent is not None else root
+        node = parent_agg.children.get(record["name"])
+        if node is None:
+            node = parent_agg.children[record["name"]] = _Node()
+        node.count += 1
+        node.total += record["dur"]
+        if record["status"] == "error":
+            node.errors += 1
+        if parent is not None and parent in agg_of:
+            agg_of[parent].child_total += record["dur"]
+        agg_of[rid] = node
+    return root
+
+
+def render_summary(records: list[dict], *, top: int = 5, max_depth: int = 12) -> str:
+    """Render the span tree, counters and top-k histograms as text."""
+    validate_records(records, require_meta=False)
+    spans = [r for r in records if r.get("type") == "span"]
+    events = [r for r in records if r.get("type") == "event"]
+    counters = [r for r in records if r.get("type") == "counter"]
+    gauges = [r for r in records if r.get("type") == "gauge"]
+    hists = [r for r in records if r.get("type") == "hist"]
+
+    lines: list[str] = []
+    n_err = sum(1 for s in spans if s["status"] == "error")
+    lines.append(
+        f"trace summary: {len(spans)} spans, {len(events)} events, "
+        f"{n_err} errors"
+    )
+
+    if spans:
+        span_ids = {s["id"] for s in spans}
+        parent_of = {
+            s["id"]: (s["parent"] if s["parent"] in span_ids else None)
+            for s in spans
+        }
+        root = _aggregate(spans, parent_of)
+        wall = sum(
+            node.total for node in root.children.values()
+        ) or 1e-12  # top-level spans define the attributable wall time
+
+        lines.append("")
+        lines.append("span tree (by wall time; self = total minus children):")
+
+        def _walk(node, name: str, depth: int) -> None:
+            self_time = max(node.total - node.child_total, 0.0)
+            err = f"  {node.errors} ERR" if node.errors else ""
+            lines.append(
+                f"  {'  ' * depth}{name:<{max(40 - 2 * depth, 8)}}"
+                f"{node.count:>7}x {_fmt_seconds(node.total)}"
+                f" ({100.0 * node.total / wall:5.1f}%)"
+                f"  self {_fmt_seconds(self_time)}{err}"
+            )
+            if depth + 1 >= max_depth:
+                return
+            for child_name, child in sorted(
+                node.children.items(), key=lambda kv: -kv[1].total
+            ):
+                _walk(child, child_name, depth + 1)
+
+        for name, node in sorted(
+            root.children.items(), key=lambda kv: -kv[1].total
+        ):
+            _walk(node, name, 0)
+
+    if events:
+        by_name: dict[str, int] = {}
+        for e in events:
+            by_name[e["name"]] = by_name.get(e["name"], 0) + 1
+        lines.append("")
+        lines.append("events:")
+        for name in sorted(by_name):
+            lines.append(f"  {name:<40}{by_name[name]:>7}x")
+
+    if counters or gauges:
+        lines.append("")
+        lines.append("counters / gauges:")
+        for r in sorted(counters, key=lambda r: r["name"]):
+            lines.append(f"  {r['name']:<40}{r['value']:>12g}")
+        for r in sorted(gauges, key=lambda r: r["name"]):
+            value = r["value"]
+            shown = f"{value:>12g}" if value is not None else f"{'unset':>12}"
+            lines.append(f"  {r['name']:<40}{shown}")
+
+    if hists:
+        ranked = sorted(hists, key=lambda r: (-r["count"], r["name"]))[:top]
+        lines.append("")
+        lines.append(f"histograms (top {min(top, len(hists))} of {len(hists)} by count):")
+        for r in ranked:
+            mean = r["sum"] / r["count"] if r["count"] else 0.0
+            lines.append(
+                f"  {r['name']}: n={r['count']}  mean={_fmt_seconds(mean).strip()}"
+                f"  min={_fmt_seconds(r['min'] or 0.0).strip()}"
+                f"  max={_fmt_seconds(r['max'] or 0.0).strip()}"
+            )
+            edges, counts = r["edges"], r["counts"]
+            peak = max(counts) or 1
+            shown = sorted(
+                (i for i, c in enumerate(counts) if c),
+                key=lambda i: -counts[i],
+            )[:6]
+            for i in sorted(shown):
+                lo = "<" + _fmt_seconds(edges[0]).strip() if i == 0 else _fmt_seconds(edges[i - 1]).strip()
+                hi = (
+                    ">=" + _fmt_seconds(edges[-1]).strip()
+                    if i == len(counts) - 1
+                    else "< " + _fmt_seconds(edges[i]).strip()
+                )
+                bar = "#" * max(1, round(24 * counts[i] / peak))
+                lines.append(f"    [{lo:>10} .. {hi:>12}) {bar:<24} {counts[i]}")
+
+    return "\n".join(lines)

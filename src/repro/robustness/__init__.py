@@ -26,7 +26,10 @@ from repro.robustness.metrics import (
     robustness_tardiness,
 )
 from repro.robustness.montecarlo import RobustnessReport, assess_robustness
-from repro.robustness.performance import overall_performance
+from repro.robustness.performance import (
+    overall_performance,
+    robustness_improvement,
+)
 
 __all__ = [
     "relative_tardiness",
@@ -36,6 +39,7 @@ __all__ = [
     "RobustnessReport",
     "assess_robustness",
     "overall_performance",
+    "robustness_improvement",
     "BootstrapCI",
     "bootstrap_robustness",
     "convergence_profile",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import runtime as obs
 from repro.robustness.metrics import (
     mean_relative_tardiness,
     miss_rate,
@@ -93,26 +94,44 @@ def assess_robustness(
     Returns
     -------
     RobustnessReport
+
+    Raises
+    ------
+    ValueError
+        If ``n_realizations < 1`` or ``chunk_size < 1`` — validated here,
+        at the API boundary, instead of surfacing as an opaque failure
+        deep inside the batched kernel.
     """
+    n_realizations = int(n_realizations)
+    if n_realizations < 1:
+        raise ValueError(
+            f"n_realizations must be >= 1, got {n_realizations}"
+        )
+    if chunk_size is not None and int(chunk_size) < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     gen = as_generator(rng)
-    static = evaluate(schedule)
-    m0 = static.makespan
-    durations = schedule.problem.uncertainty.realize_durations(
-        schedule.proc_of, n_realizations, gen, family=family
-    )
-    # Freshly sampled durations are finite and non-negative by construction,
-    # so skip the validation scan.
-    realized = batch_makespans(
-        schedule, durations, validate=False, chunk_size=chunk_size
-    )
-    realized.setflags(write=False)
-    return RobustnessReport(
-        expected_makespan=m0,
-        avg_slack=static.avg_slack,
-        realized_makespans=realized,
-        mean_makespan=float(realized.mean()),
-        mean_tardiness=mean_relative_tardiness(realized, m0),
-        miss_rate=miss_rate(realized, m0),
-        r1=robustness_tardiness(realized, m0),
-        r2=robustness_miss_rate(realized, m0),
-    )
+    with obs.trace(
+        "mc.assess_robustness", n_realizations=n_realizations, family=family
+    ):
+        static = evaluate(schedule)
+        m0 = static.makespan
+        with obs.trace("mc.realize_durations", n_realizations=n_realizations):
+            durations = schedule.problem.uncertainty.realize_durations(
+                schedule.proc_of, n_realizations, gen, family=family
+            )
+        # Freshly sampled durations are finite and non-negative by
+        # construction, so skip the validation scan.
+        realized = batch_makespans(
+            schedule, durations, validate=False, chunk_size=chunk_size
+        )
+        realized.setflags(write=False)
+        return RobustnessReport(
+            expected_makespan=m0,
+            avg_slack=static.avg_slack,
+            realized_makespans=realized,
+            mean_makespan=float(realized.mean()),
+            mean_tardiness=mean_relative_tardiness(realized, m0),
+            miss_rate=miss_rate(realized, m0),
+            r1=robustness_tardiness(realized, m0),
+            r2=robustness_miss_rate(realized, m0),
+        )

@@ -17,7 +17,46 @@ import math
 
 from repro.robustness.montecarlo import RobustnessReport
 
-__all__ = ["overall_performance", "performance_from_reports"]
+__all__ = [
+    "overall_performance",
+    "performance_from_reports",
+    "robustness_improvement",
+]
+
+
+def robustness_improvement(robustness: float, ref_robustness: float) -> float:
+    """Log-ratio robustness term ``log(R(s) / R_ref)`` with explicit limits.
+
+    ``R1``/``R2`` are ``inf`` for schedules that never miss, so the
+    naive ratio hits ``inf/inf``.  The four finiteness combinations
+    resolve to:
+
+    ===========  ============  ==========================================
+    ``R(s)``     ``R_ref``     result
+    ===========  ============  ==========================================
+    finite       finite        ``log(R(s) / R_ref)``
+    infinite     finite        ``+inf`` (strictly more robust)
+    finite       infinite      ``-inf`` (strictly less robust)
+    infinite     infinite      ``0.0`` — a tie, **not** ``nan``
+    ===========  ============  ==========================================
+
+    Both inputs must be positive (robustness values are by construction).
+    """
+    for name, val in (
+        ("robustness", robustness),
+        ("ref_robustness", ref_robustness),
+    ):
+        if math.isnan(val) or val <= 0:
+            raise ValueError(f"{name} must be positive, got {val}")
+    inf_s = math.isinf(robustness)
+    inf_ref = math.isinf(ref_robustness)
+    if inf_s and inf_ref:
+        return 0.0
+    if inf_s:
+        return math.inf
+    if inf_ref:
+        return -math.inf
+    return math.log(robustness / ref_robustness)
 
 
 def overall_performance(
@@ -53,22 +92,8 @@ def overall_performance(
     ):
         if val <= 0 or not math.isfinite(val):
             raise ValueError(f"{name} must be positive and finite, got {val}")
-    for name, val in (("robustness", robustness), ("ref_robustness", ref_robustness)):
-        if val <= 0:
-            raise ValueError(f"{name} must be positive, got {val}")
-
     makespan_term = math.log(ref_makespan / makespan)
-
-    inf_s = math.isinf(robustness)
-    inf_ref = math.isinf(ref_robustness)
-    if inf_s and inf_ref:
-        robustness_term = 0.0
-    elif inf_s:
-        robustness_term = math.inf
-    elif inf_ref:
-        robustness_term = -math.inf
-    else:
-        robustness_term = math.log(robustness / ref_robustness)
+    robustness_term = robustness_improvement(robustness, ref_robustness)
 
     if r_weight == 1.0:
         return makespan_term

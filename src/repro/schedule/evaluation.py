@@ -26,8 +26,11 @@ makespan-only fitness — pay half the kernel work.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.obs import runtime as obs
 from repro.schedule.schedule import Schedule
 
 __all__ = [
@@ -226,6 +229,18 @@ def batch_makespans(
     # which also licenses the sinks-only final reduction.
     dag, edge_w = schedule._mc_graph()
     n_real = durations.shape[0]
+    if not obs.enabled():
+        return _batch_kernel(dag, edge_w, durations, n_real, chunk_size)
+    with obs.trace("eval.batch_makespans", n_realizations=n_real) as span:
+        t0 = time.perf_counter()
+        out = _batch_kernel(dag, edge_w, durations, n_real, chunk_size)
+        obs.observe("eval.batch_makespans_seconds", time.perf_counter() - t0)
+        span.set(n_tasks=schedule.n)
+        return out
+
+
+def _batch_kernel(dag, edge_w, durations, n_real, chunk_size):
+    """The untraced batched forward pass (shared by both obs modes)."""
     if chunk_size is None or n_real <= chunk_size:
         out = dag.makespan(durations, edge_w, nonnegative=True)
         return np.asarray(out, dtype=np.float64)

@@ -113,3 +113,86 @@ class TestSensitivityCommand:
 
         with pytest.raises(SystemExit):
             run(["sensitivity", "--parameter", "n"])
+
+
+class TestArgumentValidation:
+    """Non-positive counts must exit with a clear parser error, not hang."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig4", "--workers", "0"],
+            ["fig4", "--jobs", "-2"],
+            ["fig4", "--workers", "two"],
+            ["solve", "--realizations", "0"],
+            ["solve", "--tasks", "-1"],
+            ["compare", "--procs", "0"],
+        ],
+    )
+    def test_nonpositive_counts_exit(self, argv, capsys):
+        with pytest.raises(SystemExit):
+            run(argv)
+        assert "integer" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_export_writes_valid_trace(self, tmp_path):
+        from repro.obs import load_trace
+
+        out = tmp_path / "inst.json"
+        trace = tmp_path / "run.jsonl"
+        run(
+            ["export", "--tasks", "10", "--out", str(out), "--trace", str(trace)]
+        )
+        records = load_trace(trace)  # schema-validates
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert "cli.export" in names
+
+    def test_session_closed_after_run(self, tmp_path):
+        from repro.obs import runtime
+
+        run(
+            [
+                "export",
+                "--tasks",
+                "10",
+                "--out",
+                str(tmp_path / "i.json"),
+                "--trace",
+                str(tmp_path / "t.jsonl"),
+            ]
+        )
+        assert not runtime.enabled()
+
+    def test_trace_summary_renders(self, tmp_path):
+        out = tmp_path / "inst.json"
+        trace = tmp_path / "run.jsonl"
+        run(
+            ["export", "--tasks", "10", "--out", str(out), "--trace", str(trace)]
+        )
+        text = run(["trace-summary", str(trace)])
+        assert "trace summary" in text
+        assert "cli.export" in text
+
+    def test_trace_summary_missing_file_exits(self):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            run(["trace-summary", "/nonexistent/trace.jsonl"])
+
+    def test_trace_summary_rejects_schema_violation(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "span", "id": 1}\n')
+        with pytest.raises(SystemExit, match="schema violation"):
+            run(["trace-summary", str(bad)])
+
+    def test_metrics_json_prints_deprecation_note(self, tmp_path, capsys):
+        run(
+            [
+                "fig4",
+                "--scale",
+                "smoke",
+                "--quiet",
+                "--metrics-json",
+                str(tmp_path / "m.json"),
+            ]
+        )
+        assert "deprecated" in capsys.readouterr().err

@@ -267,3 +267,66 @@ class TestMetrics:
         m = ClusterMetrics(n_workers=2, busy_seconds=1e9)
         time.sleep(0.001)
         assert m.utilization == 1.0
+
+
+def _sleepy(dt):
+    time.sleep(dt)
+    return dt
+
+
+class TestResumeElapsedCarry:
+    """--resume must continue the run clock, not restart it from zero."""
+
+    def test_snapshot_monotonic_across_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        specs = [
+            TaskSpec(key=f"t{i}", fn=_sleepy, args=(0.01,)) for i in range(3)
+        ]
+        first = Scheduler(checkpoint=Checkpoint(path, run_id="r"))
+        first.run(specs)
+        before = first.metrics.snapshot()
+
+        # What an interrupted run durably leaves behind: the run clock at
+        # the last checkpoint append.
+        journaled = Checkpoint(path, run_id="r")
+        journaled.load()
+        assert 0 < journaled.run_elapsed <= before["elapsed_seconds"]
+
+        second = Scheduler(checkpoint=Checkpoint(path, run_id="r"))
+        out = second.run(specs)
+        after = second.metrics.snapshot()
+
+        assert all(o.from_checkpoint for o in out.values())
+        assert after["prior_elapsed_seconds"] == journaled.run_elapsed
+        assert after["elapsed_seconds"] >= journaled.run_elapsed
+        assert after["busy_seconds"] >= before["busy_seconds"]
+
+    def test_journal_records_carry_run_elapsed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Scheduler(checkpoint=Checkpoint(path, run_id="r")).run(
+            [TaskSpec(key="a", fn=_sleepy, args=(0.005,))]
+        )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[1]["run_elapsed"] > 0
+        ck = Checkpoint(path, run_id="r")
+        ck.load()
+        assert ck.run_elapsed == lines[1]["run_elapsed"]
+        assert ck.busy_elapsed == lines[1]["elapsed"]
+
+    def test_legacy_journal_without_run_elapsed_loads(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps(
+                {"format": "repro.checkpoint", "version": 1, "run_id": "r"}
+            )
+            + "\n"
+            + json.dumps(
+                {"key": "a", "seed": None, "retries": 0, "elapsed": 0.5,
+                 "result": 1}
+            )
+            + "\n"
+        )
+        ck = Checkpoint(path, run_id="r")
+        assert ck.load() == {"a": 1}
+        assert ck.run_elapsed == 0.0
+        assert ck.busy_elapsed == 0.5

@@ -68,3 +68,32 @@ class TestRobustness:
         tight = 100.0 + rng.uniform(-5, 5, 1000)
         wide = 100.0 + rng.uniform(-50, 50, 1000)
         assert robustness_tardiness(tight, 100.0) > robustness_tardiness(wide, 100.0)
+
+
+class TestRoundingTolerance:
+    """Realizations equal to M_0 up to float rounding are not misses.
+
+    The batch kernel and the scalar forward pass sum in different orders,
+    so a realization drawn exactly at the expected durations can land a
+    few ULPs above M_0.  Regression: that dust used to count as a miss,
+    dragging R2 from inf to N on perfectly robust schedules.
+    """
+
+    def test_ulp_overrun_is_not_a_miss(self):
+        expected = 100.0
+        realized = np.full(50, expected * (1.0 + 1e-12))
+        assert miss_rate(realized, expected) == 0.0
+        assert np.all(relative_tardiness(realized, expected) == 0.0)
+        assert robustness_miss_rate(realized, expected) == np.inf
+        assert robustness_tardiness(realized, expected) == np.inf
+
+    def test_exact_equality_still_not_a_miss(self):
+        realized = np.array([100.0, 100.0])
+        assert miss_rate(realized, 100.0) == 0.0
+
+    def test_real_overrun_still_counts(self):
+        realized = np.array([100.0 * (1.0 + 1e-6)])
+        assert miss_rate(realized, 100.0) == 1.0
+        assert relative_tardiness(realized, 100.0)[0] == pytest.approx(
+            1e-6, rel=1e-3
+        )

@@ -4,7 +4,10 @@ import math
 
 import pytest
 
-from repro.robustness.performance import overall_performance
+from repro.robustness.performance import (
+    overall_performance,
+    robustness_improvement,
+)
 
 
 class TestOverallPerformance:
@@ -61,3 +64,29 @@ class TestOverallPerformance:
     def test_infinite_robustness_ignored_at_r1(self):
         p = overall_performance(80.0, math.inf, 100.0, 5.0, 1.0)
         assert p == pytest.approx(math.log(100.0 / 80.0))
+
+
+class TestRobustnessImprovement:
+    """The four finiteness combinations of the log-ratio term, pinned."""
+
+    def test_both_finite(self):
+        assert robustness_improvement(10.0, 5.0) == pytest.approx(math.log(2.0))
+
+    def test_schedule_infinite_reference_finite(self):
+        assert robustness_improvement(math.inf, 5.0) == math.inf
+
+    def test_schedule_finite_reference_infinite(self):
+        assert robustness_improvement(5.0, math.inf) == -math.inf
+
+    def test_both_infinite_is_a_tie_not_nan(self):
+        result = robustness_improvement(math.inf, math.inf)
+        assert result == 0.0
+        assert not math.isnan(result)
+
+    def test_rejects_nonpositive_and_nan(self):
+        with pytest.raises(ValueError):
+            robustness_improvement(0.0, 1.0)
+        with pytest.raises(ValueError):
+            robustness_improvement(1.0, -2.0)
+        with pytest.raises(ValueError):
+            robustness_improvement(math.nan, 1.0)
