@@ -1,0 +1,203 @@
+#!/usr/bin/env python
+"""Benchmark the scheduler service and record it.
+
+Measures request throughput and latency percentiles against a live
+in-process :class:`~repro.service.SchedulerService` — the same code
+path ``repro serve`` runs, minus process startup — and writes the
+numbers to ``BENCH_service.json`` at the repository root.  Four
+scenarios:
+
+* ``heft_uncached`` — distinct fast-tier requests (every one computes);
+* ``heft_cached``   — one problem repeated (pure cache-path cost:
+  transport + lookup, the service's fixed per-request overhead);
+* ``ga_uncached``   — distinct GA-tier requests through the solver
+  backend, at 1 and (when the machine has the cores) 4 workers;
+* ``ga_cached``     — the GA repeat, which costs the same as a HEFT
+  repeat (the cache does not care what it stores).
+
+Like ``scripts/bench_cluster.py`` this establishes a trajectory across
+PRs: run it before and after touching the service, protocol or cache
+paths and compare.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py            # write JSON
+    PYTHONPATH=src python scripts/bench_service.py --no-write # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.generator import DagParams
+from repro.platform.uncertainty import UncertaintyParams
+from repro.service import SchedulerService, ServiceClient, ServiceConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 20060925
+N_TASKS = 40
+N_REALIZATIONS = 200
+GA_OVERRIDES = {"max_iterations": 20, "stagnation_limit": 20}
+
+
+def _problem(seed: int) -> SchedulingProblem:
+    return SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=N_TASKS),
+        uncertainty_params=UncertaintyParams(mean_ul=2.0),
+        rng=seed,
+    )
+
+
+class _Server:
+    """A service on a background thread, bound to an ephemeral port."""
+
+    def __init__(self, workers: int) -> None:
+        self.service = SchedulerService(
+            ServiceConfig(port=0, workers=workers, ga_queue_limit=64)
+        )
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.service.start()
+            self._ready.set()
+            await self.service._shutdown_event.wait()
+            await asyncio.sleep(0.05)
+            await self.service.aclose()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "_Server":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            with ServiceClient("127.0.0.1", self.service.port) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        self._thread.join(timeout=30)
+
+
+def _timed(client: ServiceClient, payloads: list[dict], **kwargs) -> dict:
+    latencies = []
+    t0 = time.perf_counter()
+    for payload in payloads:
+        t1 = time.perf_counter()
+        client.solve(payload, **kwargs)
+        latencies.append(time.perf_counter() - t1)
+    elapsed = time.perf_counter() - t0
+    lat = np.asarray(latencies)
+    return {
+        "n_requests": len(payloads),
+        "seconds": round(elapsed, 3),
+        "req_per_second": round(len(payloads) / elapsed, 2),
+        "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 3),
+    }
+
+
+def bench_tier(workers: int, n_heft: int, n_ga: int) -> dict:
+    from repro.io import problem_to_dict
+
+    distinct = [problem_to_dict(_problem(SEED + i)) for i in range(max(n_heft, n_ga))]
+    repeated = distinct[0]
+    out: dict = {}
+    with _Server(workers) as server:
+        with ServiceClient("127.0.0.1", server.service.port) as client:
+            out["heft_uncached"] = _timed(
+                client, distinct[:n_heft], solver="heft",
+                seed=SEED, n_realizations=N_REALIZATIONS,
+            )
+            out["heft_cached"] = _timed(
+                client, [repeated] * n_heft, solver="heft",
+                seed=SEED, n_realizations=N_REALIZATIONS,
+            )
+            out["ga_uncached"] = _timed(
+                client, distinct[:n_ga], solver="ga", epsilon=1.2,
+                seed=SEED, n_realizations=N_REALIZATIONS, ga=GA_OVERRIDES,
+            )
+            out["ga_cached"] = _timed(
+                client, [distinct[0]] * n_heft, solver="ga", epsilon=1.2,
+                seed=SEED, n_realizations=N_REALIZATIONS, ga=GA_OVERRIDES,
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print timings without updating BENCH_service.json",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 4],
+        help="GA worker counts to benchmark (default: 1 4)",
+    )
+    parser.add_argument("--heft-requests", type=int, default=50)
+    parser.add_argument("--ga-requests", type=int, default=8)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="output path (default: BENCH_service.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    tiers = {}
+    for workers in args.workers:
+        result = bench_tier(workers, args.heft_requests, args.ga_requests)
+        tiers[str(workers)] = result
+        for name, row in result.items():
+            print(
+                f"{workers} worker(s) {name:14s}: {row['req_per_second']:8.2f} req/s  "
+                f"p50 {row['p50_ms']:8.2f} ms  p99 {row['p99_ms']:8.2f} ms"
+            )
+
+    record = {
+        "service": tiers,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "n_tasks": N_TASKS,
+            "n_realizations": N_REALIZATIONS,
+            "ga_overrides": GA_OVERRIDES,
+            "seed": SEED,
+        },
+    }
+    if not args.no_write:
+        # Preserve extra top-level sections so re-runs never lose history.
+        if args.output.exists():
+            try:
+                previous = json.loads(args.output.read_text())
+            except (OSError, ValueError):
+                previous = {}
+            for key, value in previous.items():
+                record.setdefault(key, value)
+        args.output.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ Usage::
     python -m repro solve --seed 42 --epsilon 1.3   # one-off solve demo
     python -m repro fig4 --scale smoke --trace run.jsonl
     python -m repro trace-summary run.jsonl         # inspect the trace
+    python -m repro serve --port 8642 --workers 2   # scheduler service
+    python -m repro submit --port 8642 --solver ga --epsilon 1.2
 
 or via the installed entry point ``repro-sched``.
 """
@@ -15,6 +17,7 @@ or via the installed entry point ``repro-sched``.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 from typing import Sequence
@@ -218,6 +221,117 @@ def build_parser() -> argparse.ArgumentParser:
         "--sens-ul", type=float, default=4.0, help="fixed uncertainty level"
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the scheduler service daemon (see docs/service.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="TCP port (0 picks a free one; it is announced on stderr)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="GA executor slots (>1 uses the repro.cluster process pool)",
+    )
+    serve.add_argument(
+        "--ga-queue-limit",
+        type=int,
+        default=8,
+        help="GA requests allowed to wait; the excess is shed to the "
+        "degraded heuristic tier (default: 8)",
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        help="result cache budget in MiB (default: 64)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress lifecycle output"
+    )
+    _trace_arg(serve)
+
+    submit = sub.add_parser(
+        "submit", help="send one request to a running scheduler service"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="server address")
+    submit.add_argument("--port", type=int, default=8642, help="server port")
+    submit.add_argument(
+        "--op",
+        choices=("solve", "status", "ping", "shutdown"),
+        default="solve",
+        help="request to send (default: solve)",
+    )
+    submit.add_argument(
+        "--problem",
+        default=None,
+        help="problem JSON file ('repro export' output); omitted: generate "
+        "an instance from --seed/--tasks/--procs/--ul",
+    )
+    submit.add_argument("--seed", type=int, default=42, help="instance + solver seed")
+    submit.add_argument(
+        "--tasks", type=_positive_int, default=50, help="generated-instance tasks"
+    )
+    submit.add_argument(
+        "--procs", type=_positive_int, default=4, help="generated-instance processors"
+    )
+    submit.add_argument(
+        "--ul", type=float, default=2.0, help="generated-instance uncertainty level"
+    )
+    submit.add_argument(
+        "--solver",
+        choices=("heft", "cpop", "peft", "minmin", "ga"),
+        default="ga",
+        help="which solver tier to request",
+    )
+    submit.add_argument("--epsilon", type=float, default=1.0, help="GA eps budget")
+    submit.add_argument(
+        "--realizations",
+        type=_positive_int,
+        default=500,
+        help="Monte-Carlo realizations",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="queue-wait deadline in seconds; a GA request predicted to "
+        "wait longer is shed to the heuristic tier",
+    )
+    submit.add_argument(
+        "--ga-iterations",
+        type=_positive_int,
+        default=None,
+        help="override GAParams.max_iterations for this request",
+    )
+    submit.add_argument(
+        "--ga-stagnation",
+        type=_positive_int,
+        default=None,
+        help="override GAParams.stagnation_limit for this request",
+    )
+    submit.add_argument(
+        "--ga-population",
+        type=_positive_int,
+        default=None,
+        help="override GAParams.population_size for this request",
+    )
+    submit.add_argument(
+        "--retry-s",
+        type=float,
+        default=5.0,
+        help="keep retrying the connection this long (default: 5)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw response JSON instead of a summary",
+    )
+
     tsum = sub.add_parser(
         "trace-summary",
         help="render a human-readable summary of a --trace JSONL file",
@@ -397,6 +511,106 @@ def _run_export(args: argparse.Namespace) -> str:
     return "\n".join(messages)
 
 
+def _run_serve(args: argparse.Namespace) -> str:
+    import asyncio
+
+    from repro.service.server import SchedulerService, ServiceConfig
+
+    if args.port < 0:
+        raise SystemExit(f"port must be >= 0, got {args.port}")
+    if args.ga_queue_limit < 0:
+        raise SystemExit(
+            f"--ga-queue-limit must be >= 0, got {args.ga_queue_limit}"
+        )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        ga_queue_limit=args.ga_queue_limit,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+    )
+    progress = None
+    if not args.quiet:
+        progress = lambda msg: print(f"[serve] {msg}", file=sys.stderr)  # noqa: E731
+    service = SchedulerService(config, progress=progress)
+    try:
+        asyncio.run(service.run())
+    except KeyboardInterrupt:
+        pass
+    counters = service.counters
+    cache = service.cache.stats()
+    return (
+        f"served {counters['requests']} requests "
+        f"({counters['solve']} solves, {counters['degraded']} degraded, "
+        f"{counters['coalesced']} coalesced); "
+        f"cache {cache['hits']} hits / {cache['misses']} misses"
+    )
+
+
+def _run_submit(args: argparse.Namespace) -> str:
+    import json
+
+    from repro.io import load_problem
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(
+        args.host, args.port, retry_s=max(args.retry_s, 0.0)
+    ) as client:
+        if args.op == "ping":
+            return "pong" if client.ping() else "no pong"
+        if args.op == "status":
+            response = client.status()
+        elif args.op == "shutdown":
+            response = client.shutdown()
+        else:
+            problem = (
+                load_problem(args.problem)
+                if args.problem
+                else _instance(args)
+            )
+            ga = {}
+            if args.ga_iterations is not None:
+                ga["max_iterations"] = args.ga_iterations
+            if args.ga_stagnation is not None:
+                ga["stagnation_limit"] = args.ga_stagnation
+            if args.ga_population is not None:
+                ga["population_size"] = args.ga_population
+            response = client.solve(
+                problem,
+                solver=args.solver,
+                epsilon=args.epsilon,
+                seed=args.seed,
+                n_realizations=args.realizations,
+                deadline_s=args.deadline,
+                ga=ga or None,
+            )
+    if args.json or args.op in ("status", "shutdown"):
+        return json.dumps(response, indent=1)
+    report = response["report"]
+    flags = [
+        flag
+        for flag, on in [
+            ("cached", response["cached"]),
+            ("coalesced", response["coalesced"]),
+            ("degraded", response["degraded"]),
+        ]
+        if on
+    ]
+    lines = [
+        f"solver     : {response['solver']}"
+        + (f" (requested {response['requested_solver']})" if response["degraded"] else ""),
+        f"flags      : {', '.join(flags) if flags else '-'}",
+        f"M0         : {report['expected_makespan']}",
+        f"mean M     : {report['mean_makespan']}",
+        f"avg slack  : {report['avg_slack']}",
+        f"R1 / R2    : {report['r1']} / {report['r2']}",
+        f"elapsed    : {response['elapsed_s']:.3f}s",
+    ]
+    if response["degraded"]:
+        lines.append(f"degraded   : {response['degraded_reason']}")
+    return "\n".join(lines)
+
+
 def _run_trace_summary(args: argparse.Namespace) -> str:
     from repro.obs import TraceSchemaError, load_trace, render_summary
 
@@ -415,13 +629,20 @@ def run(argv: Sequence[str] | None = None) -> str:
 
     if args.command == "trace-summary":
         return _run_trace_summary(args)
-    if getattr(args, "metrics_json", None):
-        print(
-            "note: --metrics-json is deprecated; prefer --trace PATH "
-            "(same counters, plus spans and lifecycle events)",
-            file=sys.stderr,
-        )
     trace_path = getattr(args, "trace", None)
+    if getattr(args, "metrics_json", None):
+        note = (
+            "note: --metrics-json is deprecated; prefer --trace PATH "
+            "(same counters, plus spans and lifecycle events)"
+        )
+        if trace_path is None:
+            # Forward the legacy flag into the equivalent trace sink so
+            # old invocations still produce the full stream.
+            trace_path = str(
+                pathlib.Path(args.metrics_json).with_suffix(".trace.jsonl")
+            )
+            note += f"; writing the equivalent trace to {trace_path}"
+        print(note, file=sys.stderr)
     if trace_path is None:
         return _dispatch(args)
 
@@ -447,6 +668,10 @@ def _dispatch(args: argparse.Namespace) -> str:
         return _run_pareto(args)
     if args.command == "export":
         return _run_export(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     if args.command == "zoo":
         from repro.experiments.zoo import run_zoo
 

@@ -134,6 +134,8 @@ class Scheduler:
         self.progress = progress
         self.on_done = on_done
         self.metrics = ClusterMetrics()
+        self._incremental = False
+        self._completed_log: list[str] | None = None
 
     # ------------------------------------------------------------------ setup
 
@@ -176,8 +178,14 @@ class Scheduler:
         Never raises on task failure — inspect the outcomes (or use
         :func:`run_tasks` for raise-on-failure semantics).
         """
+        if self._incremental:
+            raise RuntimeError(
+                "an incremental submit/poll session is open; close() it "
+                "before calling the batch run()"
+            )
         specs = list(specs)
         self._validate(specs)
+        self._completed_log = None
         self.metrics = ClusterMetrics()
         self.metrics.n_tasks = len(specs)
         self.metrics.queued = len(specs)
@@ -255,6 +263,8 @@ class Scheduler:
         """Record a terminal state and unlock (or fail) dependents."""
         key = outcome.key
         self._outcomes[key] = outcome
+        if self._completed_log is not None:
+            self._completed_log.append(key)
         self.metrics.queued = max(self.metrics.queued - 1, 0)
         if outcome.state is TaskState.DONE:
             self.metrics.done += 1
@@ -336,42 +346,175 @@ class Scheduler:
             self._retries[key] -= 1
             self._record_failure(key, error, worker)
 
+    # ------------------------------------------------- incremental submit/poll
+
+    def _ensure_incremental(self) -> None:
+        if self._incremental:
+            return
+        self._incremental = True
+        self._specs = {}
+        self._order = []
+        self._outcomes = {}
+        self._retries = {}
+        self._waiting = {}
+        self._dependents = {}
+        self._ready = deque()
+        self._completed_log = []
+        self._delivered = 0
+        self._pool_ctx = None
+        self.metrics = ClusterMetrics()
+
+    def submit(self, spec: TaskSpec) -> None:
+        """Queue one task without blocking (incremental mode).
+
+        Unlike the batch :meth:`run`, tasks arrive one at a time and
+        results are collected with :meth:`poll`; the session ends with
+        :meth:`close`.  Dependencies must refer to keys submitted
+        earlier (which also rules out cycles).  A task whose dependency
+        already failed is failed immediately, surfacing on the next
+        :meth:`poll`.
+        """
+        self._ensure_incremental()
+        if spec.key in self._specs:
+            raise ValueError(f"duplicate task key {spec.key!r}")
+        missing = [d for d in spec.deps if d not in self._specs]
+        if missing:
+            raise ValueError(
+                f"task {spec.key!r} depends on unknown task {missing[0]!r} "
+                "(incremental deps must be submitted first)"
+            )
+        self._specs[spec.key] = spec
+        self._order.append(spec.key)
+        self._retries[spec.key] = 0
+        self._waiting[spec.key] = {
+            d for d in spec.deps if d not in self._outcomes
+        }
+        self._dependents[spec.key] = []
+        for dep in spec.deps:
+            self._dependents[dep].append(spec.key)
+        self.metrics.n_tasks += 1
+        self.metrics.queued += 1
+        failed_dep = next(
+            (d for d in spec.deps if d in self._outcomes and not self._outcomes[d].ok),
+            None,
+        )
+        if failed_dep is not None:
+            self._finish(
+                TaskOutcome(
+                    key=spec.key,
+                    state=TaskState.FAILED,
+                    error=f"dependency {failed_dep!r} failed",
+                )
+            )
+        elif not self._waiting[spec.key]:
+            self._ready.append(spec.key)
+        if self.config.n_workers > 1:
+            self._ensure_pool()
+            self._dispatch()
+
+    def poll(self, timeout: float = 0.0) -> list[TaskOutcome]:
+        """Advance the run and return outcomes that became terminal.
+
+        With ``n_workers <= 1`` this executes at most **one** ready task
+        inline (blocking for its duration — the bit-identical serial
+        path).  With a pool it dispatches ready tasks, pumps worker
+        messages and sweeps liveness until something completes or
+        *timeout* seconds have elapsed (each pump waits one
+        ``poll_interval`` tick).  Every terminal outcome is returned
+        exactly once across successive calls.
+        """
+        self._ensure_incremental()
+        if self.config.n_workers <= 1:
+            key = self._next_ready()
+            if key is not None:
+                self._execute_inline(key)
+        elif self._unfinished():
+            self._ensure_pool()
+            deadline = time.monotonic() + max(timeout, 0.0)
+            while True:
+                self._dispatch()
+                self._pump_messages()
+                self._sweep_liveness(self._pool_ctx)
+                if (
+                    len(self._completed_log) > self._delivered
+                    or time.monotonic() >= deadline
+                    or not self._unfinished()
+                ):
+                    break
+        new = [
+            self._outcomes[k] for k in self._completed_log[self._delivered:]
+        ]
+        self._delivered = len(self._completed_log)
+        return new
+
+    def pending(self) -> int:
+        """Tasks submitted but not yet terminal (incremental mode)."""
+        if not self._incremental:
+            return 0
+        return self._unfinished()
+
+    def close(self) -> None:
+        """End an incremental session: stop workers, close the journal."""
+        if not self._incremental:
+            return
+        if getattr(self, "_pool_ctx", None) is not None and getattr(
+            self, "_workers", None
+        ):
+            self._shutdown_pool()
+        if self.checkpoint is not None:
+            self.checkpoint.close()
+        self._incremental = False
+        self._completed_log = None
+
+    def _ensure_pool(self) -> None:
+        if self._pool_ctx is None:
+            self._pool_ctx = mp.get_context(self.config.mp_context)
+            self._workers = {}
+            self._next_worker_id = 0
+            self._monitor = HeartbeatMonitor(timeout=self.config.heartbeat_timeout)
+        while len(self._workers) < min(self.config.n_workers, self._unfinished()):
+            self._spawn_worker(self._pool_ctx)
+
     # ------------------------------------------------------------ serial path
 
     def _run_serial(self) -> None:
         """In-process execution: same order, same streams, no pickling."""
-        import traceback
-
         while True:
             key = self._next_ready()
             if key is None:
                 break
-            spec = self._specs[key]
-            dep_results = self._dep_results(spec)
-            self.metrics.running = 1
-            start = time.perf_counter()
-            try:
-                with obs.trace("cluster.task", key=key):
-                    if dep_results is not None:
-                        result = spec.fn(dep_results, *spec.args, **spec.kwargs)
-                    else:
-                        result = spec.fn(*spec.args, **spec.kwargs)
-            except Exception:
-                self.metrics.running = 0
-                self._retry_or_fail(key, traceback.format_exc(), None)
-                continue
+            self._execute_inline(key)
+
+    def _execute_inline(self, key: str) -> None:
+        """Run one ready task to completion in this process."""
+        import traceback
+
+        spec = self._specs[key]
+        dep_results = self._dep_results(spec)
+        self.metrics.running = 1
+        start = time.perf_counter()
+        try:
+            with obs.trace("cluster.task", key=key):
+                if dep_results is not None:
+                    result = spec.fn(dep_results, *spec.args, **spec.kwargs)
+                else:
+                    result = spec.fn(*spec.args, **spec.kwargs)
+        except Exception:
             self.metrics.running = 0
-            duration = time.perf_counter() - start
-            self.metrics.busy_seconds += duration
-            self._finish(
-                TaskOutcome(
-                    key=key,
-                    state=TaskState.DONE,
-                    result=result,
-                    retries=self._retries[key],
-                    duration=duration,
-                )
+            self._retry_or_fail(key, traceback.format_exc(), None)
+            return
+        self.metrics.running = 0
+        duration = time.perf_counter() - start
+        self.metrics.busy_seconds += duration
+        self._finish(
+            TaskOutcome(
+                key=key,
+                state=TaskState.DONE,
+                result=result,
+                retries=self._retries[key],
+                duration=duration,
             )
+        )
 
     # -------------------------------------------------------------- pool path
 

@@ -8,6 +8,7 @@ Graphviz.
 from repro.io.dot import disjunctive_to_dot, graph_to_dot
 from repro.io.json_io import (
     load_problem,
+    problem_fingerprint,
     load_schedule,
     problem_from_dict,
     problem_to_dict,
@@ -20,6 +21,7 @@ from repro.io.json_io import (
 )
 
 __all__ = [
+    "problem_fingerprint",
     "problem_to_dict",
     "problem_from_dict",
     "save_problem",

@@ -24,6 +24,7 @@ from repro.robustness.montecarlo import RobustnessReport
 from repro.schedule.schedule import Schedule
 
 __all__ = [
+    "problem_fingerprint",
     "problem_to_dict",
     "problem_from_dict",
     "save_problem",
@@ -39,8 +40,13 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def _problem_fingerprint(problem: SchedulingProblem) -> str:
-    """Stable content hash used to pair schedules with their problems."""
+def problem_fingerprint(problem: SchedulingProblem) -> str:
+    """Stable content hash of a problem instance.
+
+    Pairs schedules with their problems at load time and keys the
+    service's content-addressed result cache (two clients submitting the
+    same instance share one entry regardless of who serialized it).
+    """
     h = hashlib.sha256()
     h.update(problem.graph.edge_src.tobytes())
     h.update(problem.graph.edge_dst.tobytes())
@@ -75,7 +81,7 @@ def problem_to_dict(problem: SchedulingProblem) -> dict[str, Any]:
             "bcet": problem.uncertainty.bcet.tolist(),
             "ul": problem.uncertainty.ul.tolist(),
         },
-        "fingerprint": _problem_fingerprint(problem),
+        "fingerprint": problem_fingerprint(problem),
     }
 
 
@@ -105,7 +111,7 @@ def problem_from_dict(payload: dict[str, Any]) -> SchedulingProblem:
         name=payload.get("name", "loaded"),
     )
     expect = payload.get("fingerprint")
-    if expect is not None and _problem_fingerprint(problem) != expect:
+    if expect is not None and problem_fingerprint(problem) != expect:
         raise ValueError("problem fingerprint mismatch: payload is corrupt")
     return problem
 
@@ -125,7 +131,7 @@ def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
     return {
         "format": "repro.schedule",
         "version": FORMAT_VERSION,
-        "problem_fingerprint": _problem_fingerprint(schedule.problem),
+        "problem_fingerprint": problem_fingerprint(schedule.problem),
         "proc_orders": [t.tolist() for t in schedule.proc_orders],
     }
 
@@ -147,7 +153,7 @@ def schedule_from_dict(
             f"unsupported schedule format version {payload.get('version')}"
         )
     expect = payload.get("problem_fingerprint")
-    if expect is not None and expect != _problem_fingerprint(problem):
+    if expect is not None and expect != problem_fingerprint(problem):
         raise ValueError(
             "schedule was saved for a different problem (fingerprint mismatch)"
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import threading
 
 __all__ = ["Sink", "InMemorySink", "JsonlSink", "TRACE_FORMAT", "TRACE_VERSION"]
 
@@ -85,6 +86,10 @@ class JsonlSink(Sink):
     def __init__(self, path: str | pathlib.Path) -> None:
         self.path = pathlib.Path(path)
         self._file = None
+        # Spans may close on several threads at once (the service runs
+        # solves on executor threads); a whole-line lock keeps records
+        # from interleaving mid-line.
+        self._lock = threading.Lock()
 
     def _ensure_open(self):
         if self._file is None:
@@ -95,17 +100,18 @@ class JsonlSink(Sink):
 
     def write(self, record: dict) -> None:
         """Serialize the record as one strict-JSON line."""
-        self._ensure_open().write(
-            json.dumps(record, allow_nan=False, default=_json_default) + "\n"
-        )
+        line = json.dumps(record, allow_nan=False, default=_json_default) + "\n"
+        with self._lock:
+            self._ensure_open().write(line)
 
     def close(self) -> None:
         """Flush and close the file (writing the header if nothing was)."""
         # Header even for an empty run: the file must identify itself.
-        fh = self._ensure_open()
-        fh.flush()
-        fh.close()
-        self._file = None
+        with self._lock:
+            fh = self._ensure_open()
+            fh.flush()
+            fh.close()
+            self._file = None
 
 
 def _json_default(value):

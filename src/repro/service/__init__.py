@@ -1,0 +1,49 @@
+"""repro.service — the scheduler as a long-lived daemon.
+
+The one-shot CLI and the Python API recompute everything per
+invocation; this package turns the solvers into a **service**: a
+JSON-lines-over-TCP daemon (``repro serve`` / ``repro submit``) that
+amortizes solver cost across clients and degrades gracefully under
+load.  Its moving parts:
+
+* :mod:`repro.service.protocol` — the wire format and
+  :data:`~repro.service.protocol.PROTOCOL_VERSION`;
+* :mod:`repro.service.cache` — content-addressed LRU result cache
+  keyed on problem fingerprint + solver parameters;
+* :mod:`repro.service.admission` — tiered admission control: the
+  heuristic tier is always served, the GA tier is bounded and excess
+  load is shed to degraded-but-valid heuristic schedules;
+* :mod:`repro.service.solvers` — the deterministic execution layer
+  (service responses are bit-identical to direct API calls);
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  asyncio daemon and its blocking client.
+
+See ``docs/service.md`` for the protocol specification, the overload
+semantics and an example session.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.cache import ResultCache, cache_key
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    SOLVERS,
+    ProtocolError,
+)
+from repro.service.server import SchedulerService, ServiceConfig
+from repro.service.solvers import execute_payload
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SOLVERS",
+    "ProtocolError",
+    "ResultCache",
+    "cache_key",
+    "AdmissionController",
+    "AdmissionDecision",
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceClient",
+    "ServiceError",
+    "execute_payload",
+]

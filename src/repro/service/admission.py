@@ -1,0 +1,157 @@
+"""Tiered admission control: serve what you can, degrade what you can't.
+
+The serving discipline follows the task-dropping literature (Mokhtari et
+al., arXiv:2005.11050; Gentry et al., arXiv:1901.09312): robustness
+under load comes from an explicit decision at the door, not from letting
+a queue grow until clients time out.  Requests are split into two tiers:
+
+* the **fast tier** — deterministic heuristics (HEFT, CPOP, PEFT,
+  min-min), milliseconds per solve — is always admitted;
+* the **GA tier** — the ε-constraint genetic solver, seconds per solve —
+  is admitted only while its queue has room *and* the predicted queue
+  wait fits the request's deadline.
+
+A rejected GA request is not an error: it is **shed** to the fast tier
+and served a HEFT schedule flagged ``degraded: true``, so the client
+always gets a valid (if less robust) schedule under overload.
+
+The wait predictor is an EWMA of recent GA solve times; with no history
+yet, only the depth bound applies.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of routing one request.
+
+    ``tier`` is ``"fast"`` (serve inline), ``"ga"`` (enqueue for the GA
+    executor) or ``"shed"`` (serve the degraded heuristic fallback);
+    ``reason`` explains a shed decision for the response and the trace.
+    """
+
+    tier: str
+    reason: str | None = None
+
+
+class AdmissionController:
+    """Routes requests to tiers and tracks the decisions it made.
+
+    Parameters
+    ----------
+    ga_queue_limit:
+        Maximum GA requests *waiting* (beyond the ones actively running
+        on the executor).  Depth ``0`` disables queueing entirely: a GA
+        request is only admitted while an executor slot is free.
+    ga_workers:
+        Concurrent GA executor slots (the service's ``--workers``).
+    ewma_alpha:
+        Smoothing factor for the GA service-time estimate.
+    """
+
+    def __init__(
+        self,
+        ga_queue_limit: int = 8,
+        ga_workers: int = 1,
+        *,
+        ewma_alpha: float = 0.3,
+    ) -> None:
+        if ga_queue_limit < 0:
+            raise ValueError(f"ga_queue_limit must be >= 0, got {ga_queue_limit}")
+        if ga_workers < 1:
+            raise ValueError(f"ga_workers must be >= 1, got {ga_workers}")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.ga_queue_limit = int(ga_queue_limit)
+        self.ga_workers = int(ga_workers)
+        self._ewma_alpha = float(ewma_alpha)
+        self._lock = threading.Lock()
+        self.ga_seconds_ewma: float | None = None
+        self.admitted_fast = 0
+        self.admitted_ga = 0
+        self.shed = 0
+        self.shed_queue_full = 0
+        self.shed_deadline = 0
+
+    # -------------------------------------------------------------- routing
+
+    def route(
+        self,
+        solver: str,
+        ga_inflight: int,
+        deadline_s: float | None = None,
+    ) -> AdmissionDecision:
+        """Decide the tier for one validated ``solve`` request.
+
+        ``ga_inflight`` counts GA jobs handed to the executor and not yet
+        resolved (running + queued); queue depth is what exceeds the
+        worker slots.
+        """
+        if solver != "ga":
+            with self._lock:
+                self.admitted_fast += 1
+            return AdmissionDecision("fast")
+        queued = max(0, ga_inflight - self.ga_workers)
+        if queued >= self.ga_queue_limit and ga_inflight >= self.ga_workers:
+            with self._lock:
+                self.shed += 1
+                self.shed_queue_full += 1
+            return AdmissionDecision(
+                "shed", f"ga queue full (depth {queued} >= {self.ga_queue_limit})"
+            )
+        wait = self.predicted_wait_s(queued)
+        if deadline_s is not None and wait is not None and wait > deadline_s:
+            with self._lock:
+                self.shed += 1
+                self.shed_deadline += 1
+            return AdmissionDecision(
+                "shed",
+                f"predicted queue wait {wait:.2f}s exceeds deadline "
+                f"{deadline_s:g}s",
+            )
+        with self._lock:
+            self.admitted_ga += 1
+        return AdmissionDecision("ga")
+
+    # ------------------------------------------------------------ estimator
+
+    def predicted_wait_s(self, queued: int) -> float | None:
+        """Expected queue wait for a request arriving behind *queued* jobs.
+
+        ``None`` until at least one GA solve has completed — admission
+        then falls back to the depth bound alone rather than guessing.
+        """
+        if self.ga_seconds_ewma is None:
+            return None
+        return queued * self.ga_seconds_ewma / self.ga_workers
+
+    def observe_ga_seconds(self, seconds: float) -> None:
+        """Feed one completed GA solve's duration into the estimator."""
+        with self._lock:
+            if self.ga_seconds_ewma is None:
+                self.ga_seconds_ewma = float(seconds)
+            else:
+                a = self._ewma_alpha
+                self.ga_seconds_ewma = (
+                    a * float(seconds) + (1.0 - a) * self.ga_seconds_ewma
+                )
+
+    def stats(self) -> dict[str, float | int | None]:
+        """Counters for the ``status`` RPC and the obs gauges."""
+        with self._lock:
+            return {
+                "ga_queue_limit": self.ga_queue_limit,
+                "ga_workers": self.ga_workers,
+                "admitted_fast": self.admitted_fast,
+                "admitted_ga": self.admitted_ga,
+                "shed": self.shed,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_deadline": self.shed_deadline,
+                "ga_seconds_ewma": self.ga_seconds_ewma,
+            }

@@ -1,0 +1,109 @@
+"""Content-addressed LRU result cache with a byte budget.
+
+Schedules are pure functions of ``(problem, solver, params, seed)``, so
+the service can answer a repeated request without re-running the solver.
+Keys are content hashes: the problem's fingerprint (already computed by
+:mod:`repro.io.json_io` for schedule/problem pairing) plus the canonical
+JSON of the solve parameters.  Two clients submitting the same instance
+therefore share one entry even if they serialized it independently.
+
+Entries are complete wire payloads (JSON-compatible dicts); the budget
+is accounted in encoded-JSON bytes, which is what the cache actually
+saves the server from recomputing *and* what a persistent tier would
+store.  Eviction is strict LRU.  ``get``/``put`` are thread-safe — the
+server touches the cache from the event loop, benchmarks from threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(fingerprint: str, solver: str, **params: Any) -> str:
+    """Content hash identifying one solve: problem + solver + params.
+
+    ``params`` must be JSON-compatible; key order is canonicalized so
+    equal parameter sets hash equally regardless of construction order.
+    """
+    blob = json.dumps(
+        {"fingerprint": fingerprint, "solver": solver, "params": params},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+class ResultCache:
+    """Bounded LRU mapping cache keys to response payload dicts.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget over the encoded-JSON size of all entries.  A single
+        payload larger than the whole budget is never stored (it would
+        just evict everything for one entry).
+    """
+
+    def __init__(self, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[str, tuple[dict, int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return a shallow copy of the cached payload, or ``None``.
+
+        The copy lets the caller stamp per-request fields (``id``,
+        ``cached``) without mutating the stored entry.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return dict(entry[0])
+
+    def put(self, key: str, payload: dict[str, Any]) -> bool:
+        """Store *payload* under *key*; returns whether it was kept."""
+        size = len(json.dumps(payload, allow_nan=False, separators=(",", ":")))
+        with self._lock:
+            if size > self.max_bytes:
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            self._entries[key] = (payload, size)
+            self.bytes += size
+            while self.bytes > self.max_bytes:
+                _, (_, evicted_size) = self._entries.popitem(last=False)
+                self.bytes -= evicted_size
+                self.evictions += 1
+            return True
+
+    def stats(self) -> dict[str, int]:
+        """Counters for the ``status`` RPC and the obs gauges."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

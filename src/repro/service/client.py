@@ -1,0 +1,171 @@
+"""Synchronous client for the scheduler service.
+
+A thin blocking wrapper over one TCP connection: requests go out as JSON
+lines, responses come back in order.  It is what ``repro submit`` and
+the integration tests use; anything that can write JSON lines to a
+socket is an equally valid client (see ``docs/service.md`` for the
+wire format).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.core.problem import SchedulingProblem
+from repro.io.json_io import problem_to_dict
+from repro.service.protocol import decode, encode
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An ``ok: false`` response, surfaced as an exception.
+
+    Attributes
+    ----------
+    code / message:
+        The wire error (see :data:`repro.service.protocol.ERROR_CODES`).
+    response:
+        The full response dict, for callers that need the envelope.
+    """
+
+    def __init__(self, response: dict[str, Any]) -> None:
+        error = response.get("error") or {}
+        self.code = error.get("code", "internal")
+        self.message = error.get("message", "unknown error")
+        self.response = response
+        super().__init__(f"[{self.code}] {self.message}")
+
+
+class ServiceClient:
+    """One blocking connection to a running :class:`SchedulerService`.
+
+    Usable as a context manager::
+
+        with ServiceClient("127.0.0.1", 8642) as client:
+            response = client.solve(problem, solver="ga", epsilon=1.2, seed=7)
+
+    Parameters
+    ----------
+    host / port:
+        The server's bind address.
+    timeout:
+        Socket timeout in seconds (``None`` blocks indefinitely — GA
+        solves can take a while).
+    retry_s:
+        Keep retrying the initial connection for this many seconds
+        (covers the just-started-server race in scripts and CI).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        *,
+        timeout: float | None = None,
+        retry_s: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        deadline = time.monotonic() + retry_s
+        while True:
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+        self._file = self._sock.makefile("rwb")
+
+    # ------------------------------------------------------------- transport
+
+    def request(self, message: dict[str, Any]) -> dict[str, Any]:
+        """Send one raw request dict and return the raw response dict."""
+        self._file.write(encode(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- ops
+
+    def solve(
+        self,
+        problem: SchedulingProblem | dict[str, Any],
+        *,
+        solver: str = "ga",
+        epsilon: float = 1.0,
+        seed: int = 0,
+        n_realizations: int = 500,
+        deadline_s: float | None = None,
+        ga: dict[str, int] | None = None,
+        request_id: Any = None,
+        check: bool = True,
+    ) -> dict[str, Any]:
+        """Solve *problem* remotely; returns the response dict.
+
+        *problem* may be a :class:`SchedulingProblem` (serialized here)
+        or an already-encoded :func:`repro.io.problem_to_dict` payload.
+        With ``check`` (the default), an error response raises
+        :class:`ServiceError` instead of being returned.
+        """
+        payload = (
+            problem
+            if isinstance(problem, dict)
+            else problem_to_dict(problem)
+        )
+        message: dict[str, Any] = {
+            "op": "solve",
+            "problem": payload,
+            "solver": solver,
+            "epsilon": epsilon,
+            "seed": seed,
+            "n_realizations": n_realizations,
+        }
+        if deadline_s is not None:
+            message["deadline_s"] = deadline_s
+        if ga:
+            message["ga"] = ga
+        if request_id is not None:
+            message["id"] = request_id
+        response = self.request(message)
+        if check and not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    def status(self) -> dict[str, Any]:
+        """Server counters: cache, admission, queue depth, uptime."""
+        response = self.request({"op": "status"})
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to drain and exit its serve loop."""
+        response = self.request({"op": "shutdown"})
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response

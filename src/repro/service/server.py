@@ -1,0 +1,510 @@
+"""The scheduler-as-a-service daemon.
+
+One asyncio event loop owns all serving state — cache, admission
+counters, the coalescing map — while the actual solving happens off the
+loop: heuristics on a small thread pool, GA work on a
+:class:`repro.cluster.scheduler.Scheduler` driven through its
+non-blocking ``submit``/``poll`` API by a dedicated backend thread
+(in-process when ``workers <= 1``, a supervised process pool above
+that).  The split mirrors dask ``distributed``: the server is a state
+machine that must never block, and computation is somebody else's
+problem.
+
+Request lifecycle for ``solve``::
+
+    decode -> normalize -> deserialize problem (fingerprint check)
+      -> admission.route()          fast | ga | shed
+      -> cache lookup               (content-addressed; hit -> respond)
+      -> coalesce                   (identical in-flight solve -> share it)
+      -> execute                    (fast executor | GA backend)
+      -> cache store -> respond
+
+Shedding is *service degradation*, not failure: an overloaded GA tier
+answers with the HEFT schedule for the same instance and seed, flagged
+``degraded: true`` — the client always gets a valid schedule (see
+``docs/service.md`` for the overload semantics).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.io.json_io import problem_fingerprint, problem_from_dict
+from repro.obs import runtime as obs
+from repro.service.admission import AdmissionController
+from repro.service.cache import ResultCache, cache_key
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    normalize_request,
+    ok_response,
+)
+from repro.service.solvers import execute_payload, solve_params
+
+__all__ = ["ServiceConfig", "SchedulerService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon knobs (all have serving-friendly defaults).
+
+    Attributes
+    ----------
+    host / port:
+        Bind address; port ``0`` asks the OS for a free port (the bound
+        port is in :attr:`SchedulerService.port` after ``start``).
+    workers:
+        GA executor slots.  ``<= 1`` solves in-process on the backend
+        thread (no pickling, the bit-identical serial path); above that
+        the backend drives a supervised ``repro.cluster`` process pool.
+    ga_queue_limit:
+        GA requests allowed to *wait* beyond the running ones; the
+        excess is shed to the degraded heuristic tier.
+    cache_bytes:
+        Result cache budget (encoded-JSON bytes).
+    fast_threads:
+        Thread-pool width for the heuristic tier.
+    drain_timeout:
+        Seconds ``shutdown`` waits for in-flight requests.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    ga_queue_limit: int = 8
+    cache_bytes: int = 64 * 1024 * 1024
+    fast_threads: int = 4
+    drain_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.fast_threads < 1:
+            raise ValueError(f"fast_threads must be >= 1, got {self.fast_threads}")
+        if self.drain_timeout <= 0:
+            raise ValueError("drain_timeout must be positive")
+
+
+class _GaBackend:
+    """Feeds GA jobs to a cluster Scheduler from a daemon thread.
+
+    The event loop hands ``(payload, future)`` pairs over a thread-safe
+    queue; the thread submits them to the incremental scheduler and
+    resolves the asyncio futures back on the loop as outcomes arrive.
+    With one worker the scheduler's serial path runs the solve inline on
+    this thread, which is exactly the single-slot GA tier.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, n_workers: int) -> None:
+        self._loop = loop
+        self._n_workers = n_workers
+        self._jobs: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-ga", daemon=True
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+
+    def submit(self, payload: dict, future: asyncio.Future) -> None:
+        self._jobs.put((payload, future))
+
+    # ----------------------------------------------------------- thread side
+
+    def _run(self) -> None:
+        from repro.cluster.scheduler import ClusterConfig, Scheduler
+        from repro.cluster.task import TaskSpec
+
+        scheduler = Scheduler(
+            ClusterConfig(n_workers=self._n_workers, poll_interval=0.02)
+        )
+        pending: dict[str, asyncio.Future] = {}
+        seq = 0
+        try:
+            while True:
+                while True:
+                    try:
+                        payload, future = self._jobs.get_nowait()
+                    except queue.Empty:
+                        break
+                    seq += 1
+                    pending[f"ga-{seq}"] = future
+                    scheduler.submit(
+                        TaskSpec(
+                            key=f"ga-{seq}",
+                            fn=execute_payload,
+                            args=(payload,),
+                            max_retries=1,
+                        )
+                    )
+                if not pending:
+                    if self._stop.is_set():
+                        break
+                    time.sleep(0.02)
+                    continue
+                for outcome in scheduler.poll(timeout=0.05):
+                    future = pending.pop(outcome.key)
+                    if outcome.ok:
+                        self._post(future.set_result, outcome.result)
+                    else:
+                        self._post(
+                            future.set_exception,
+                            RuntimeError(outcome.error or "GA task failed"),
+                        )
+        finally:
+            scheduler.close()
+            for future in pending.values():
+                self._post(
+                    future.set_exception, RuntimeError("service shutting down")
+                )
+
+    def _post(self, setter: Callable, value: Any) -> None:
+        def apply() -> None:
+            future = setter.__self__
+            if not future.done():
+                setter(value)
+
+        self._loop.call_soon_threadsafe(apply)
+
+
+class SchedulerService:
+    """The daemon: accepts JSON-lines connections, serves schedules.
+
+    Typical embedded use (the CLI's ``repro serve`` does the same) ::
+
+        service = SchedulerService(ServiceConfig(port=0, workers=2))
+        asyncio.run(service.run())            # serves until 'shutdown'
+
+    or, for tests, ``start()``/``aclose()`` inside an existing loop.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.progress = progress
+        self.cache = ResultCache(self.config.cache_bytes)
+        self.admission = AdmissionController(
+            self.config.ga_queue_limit, self.config.workers
+        )
+        self.port: int | None = None
+        self.counters: dict[str, int] = {
+            "requests": 0,
+            "solve": 0,
+            "status": 0,
+            "ping": 0,
+            "errors": 0,
+            "degraded": 0,
+            "coalesced": 0,
+        }
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._ga_inflight = 0
+        self._active = 0
+        self._draining = False
+        self._started = time.monotonic()
+        self._server: asyncio.AbstractServer | None = None
+        self._backend: _GaBackend | None = None
+        self._fast_executor: concurrent.futures.ThreadPoolExecutor | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._conn_writers: set[asyncio.StreamWriter] = set()
+
+    # --------------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        """Bind the socket and start the GA backend."""
+        loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._fast_executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.fast_threads,
+            thread_name_prefix="repro-service-fast",
+        )
+        self._backend = _GaBackend(loop, self.config.workers)
+        self._backend.start()
+        # Problem payloads and reports are single JSON lines; the default
+        # 64 KiB StreamReader limit is too small for paper-scale instances.
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.config.host,
+            self.config.port,
+            limit=16 * 1024 * 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.monotonic()
+        self._log(
+            f"listening on {self.config.host}:{self.port} "
+            f"(workers={self.config.workers}, "
+            f"ga_queue_limit={self.config.ga_queue_limit})"
+        )
+
+    async def run(self) -> None:
+        """Serve until a ``shutdown`` request, then drain and close."""
+        await self.start()
+        try:
+            await self._shutdown_event.wait()
+            deadline = time.monotonic() + self.config.drain_timeout
+            while self._active > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            await asyncio.sleep(0.05)  # let the final acks flush
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections and release every resource."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Established connections are not closed by Server.close().  Close
+        # their transports so each handler unblocks with EOF and finishes
+        # on its own (cancelling the tasks instead trips a noisy
+        # StreamReaderProtocol callback on CPython 3.11), then cancel any
+        # straggler as a last resort.
+        for writer in list(self._conn_writers):
+            try:
+                writer.close()
+            except OSError:
+                pass
+        if self._conn_tasks:
+            _, stragglers = await asyncio.wait(
+                list(self._conn_tasks), timeout=5.0
+            )
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+            self._conn_tasks.clear()
+        self._conn_writers.clear()
+        if self._backend is not None:
+            self._backend.stop()
+            self._backend = None
+        if self._fast_executor is not None:
+            self._fast_executor.shutdown(wait=False, cancel_futures=True)
+            self._fast_executor = None
+        self._log("stopped")
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------- connections
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                try:
+                    writer.write(encode(response))
+                    await writer.drain()
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self._conn_writers.discard(writer)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> dict[str, Any]:
+        self.counters["requests"] += 1
+        obs.add("service.requests")
+        try:
+            request = normalize_request(decode(line))
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            obs.add("service.errors")
+            return error_response(None, exc.code, str(exc))
+        op = request["op"]
+        request_id = request.get("id")
+        self._active += 1
+        try:
+            with obs.trace("service.request", op=op) as span:
+                if op == "ping":
+                    self.counters["ping"] += 1
+                    return ok_response(request_id, op="ping")
+                if op == "status":
+                    self.counters["status"] += 1
+                    return self._status_response(request_id)
+                if op == "shutdown":
+                    self._draining = True
+                    # Ack first; run() drains after the event fires.
+                    asyncio.get_running_loop().call_soon(
+                        self._shutdown_event.set
+                    )
+                    return ok_response(request_id, op="shutdown")
+                return await self._solve(request, span)
+        except ProtocolError as exc:
+            self.counters["errors"] += 1
+            obs.add("service.errors")
+            return error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # solver bug: report, keep serving
+            self.counters["errors"] += 1
+            obs.add("service.errors")
+            return error_response(
+                request_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._active -= 1
+
+    # ------------------------------------------------------------------ solve
+
+    async def _solve(self, request: dict[str, Any], span) -> dict[str, Any]:
+        if self._draining:
+            raise ProtocolError("shutting-down", "server is shutting down")
+        self.counters["solve"] += 1
+        t0 = time.perf_counter()
+        try:
+            fingerprint = problem_fingerprint(
+                problem_from_dict(request["problem"])
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ProtocolError(
+                "bad-problem", f"problem payload rejected: {exc}"
+            ) from exc
+
+        decision = self.admission.route(
+            request["solver"], self._ga_inflight, request["deadline_s"]
+        )
+        degraded = decision.tier == "shed"
+        if degraded:
+            self.counters["degraded"] += 1
+            obs.add("service.shed")
+            obs.event(
+                "service.shed",
+                solver=request["solver"],
+                reason=decision.reason,
+            )
+            # The degraded tier is HEFT with the same instance and seed —
+            # same cache entry as an explicit HEFT request would hit.
+            request = dict(request, solver="heft")
+        span.set(solver=request["solver"], tier=decision.tier)
+
+        key = cache_key(
+            fingerprint, request["solver"], **solve_params(request)
+        )
+        core, cached, coalesced = await self._compute(
+            key, request, decision.tier
+        )
+        span.set(cached=cached, degraded=degraded)
+        if cached:
+            obs.add("service.cache_hit")
+        else:
+            obs.add("service.cache_miss")
+        response = ok_response(request["id"], **core)
+        response["cached"] = cached
+        response["coalesced"] = coalesced
+        response["degraded"] = degraded
+        if degraded:
+            response["requested_solver"] = "ga"
+            response["degraded_reason"] = decision.reason
+        response["elapsed_s"] = time.perf_counter() - t0
+        return response
+
+    async def _compute(
+        self, key: str, request: dict[str, Any], tier: str
+    ) -> tuple[dict[str, Any], bool, bool]:
+        """Resolve one solve: cache, coalesce with an in-flight twin, or run."""
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached, True, False
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.counters["coalesced"] += 1
+            obs.add("service.coalesced")
+            core = await asyncio.shield(inflight)
+            return dict(core), False, True
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            if tier == "ga":
+                core = await self._run_ga(request, future)
+            else:
+                core = await loop.run_in_executor(
+                    self._fast_executor, execute_payload, dict(request)
+                )
+                if not future.done():
+                    future.set_result(core)
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+            # A coalesced waiter may never retrieve it; don't warn.
+            future.exception()
+            raise
+        finally:
+            self._inflight.pop(key, None)
+        self.cache.put(key, core)
+        return dict(core), False, False
+
+    async def _run_ga(
+        self, request: dict[str, Any], future: asyncio.Future
+    ) -> dict[str, Any]:
+        self._ga_inflight += 1
+        obs.set_gauge("service.ga_inflight", float(self._ga_inflight))
+        t0 = time.perf_counter()
+        try:
+            self._backend.submit(dict(request), future)
+            core = await asyncio.shield(future)
+            self.admission.observe_ga_seconds(time.perf_counter() - t0)
+            return core
+        finally:
+            self._ga_inflight -= 1
+            obs.set_gauge("service.ga_inflight", float(self._ga_inflight))
+
+    # ----------------------------------------------------------------- status
+
+    def _status_response(self, request_id: Any) -> dict[str, Any]:
+        queue_depth = max(0, self._ga_inflight - self.config.workers)
+        obs.set_gauge("service.ga_queue_depth", float(queue_depth))
+        return ok_response(
+            request_id,
+            op="status",
+            server={
+                "protocol": PROTOCOL_VERSION,
+                "uptime_s": time.monotonic() - self._started,
+                "workers": self.config.workers,
+                "draining": self._draining,
+            },
+            requests=dict(self.counters),
+            cache=self.cache.stats(),
+            admission=self.admission.stats(),
+            ga={
+                "inflight": self._ga_inflight,
+                "queue_depth": queue_depth,
+                "queue_limit": self.config.ga_queue_limit,
+            },
+        )

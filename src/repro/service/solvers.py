@@ -1,0 +1,117 @@
+"""Deterministic solver execution shared by the server and its clients.
+
+This module **is** the service's bit-identical contract with the direct
+Python API: :func:`execute_payload` derives everything from the request
+payload alone — never from worker identity, queue position or wall
+clock — so a response is reproducible by calling the library directly
+with the same inputs:
+
+* heuristics (``heft``/``cpop``/``peft``/``minmin``):
+  ``Scheduler().schedule(problem)``;
+* ``ga``: ``RobustScheduler(epsilon, params, rng=seed).solve(problem)``;
+* robustness assessment (always):
+  ``assess_robustness(schedule, n_realizations, rng=seed + 1)``.
+
+The ``seed + 1`` derivation keeps the GA's stream (rooted at ``seed``)
+and the Monte-Carlo stream independent, mirroring the CLI's convention.
+Because the function is module-level and its argument is a plain JSON
+dict, it is also a valid :class:`repro.cluster.task.TaskSpec` target —
+the server runs GA work through the cluster pool with ``--workers > 1``
+and results stay identical to the inline path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.ga.engine import GAParams
+from repro.io.json_io import (
+    problem_from_dict,
+    report_to_dict,
+    schedule_to_dict,
+)
+from repro.service.protocol import FAST_SOLVERS
+
+__all__ = ["heuristic_for", "build_ga_params", "solve_params", "execute_payload"]
+
+
+def heuristic_for(solver: str):
+    """The scheduler instance behind one fast-tier solver name."""
+    from repro.heuristics import (
+        CpopScheduler,
+        HeftScheduler,
+        MinMinScheduler,
+        PeftScheduler,
+    )
+
+    classes = {
+        "heft": HeftScheduler,
+        "cpop": CpopScheduler,
+        "peft": PeftScheduler,
+        "minmin": MinMinScheduler,
+    }
+    return classes[solver]()
+
+
+def build_ga_params(overrides: dict[str, int] | None) -> GAParams:
+    """Paper-default :class:`GAParams` with the wire overrides applied."""
+    return GAParams(**(overrides or {}))
+
+
+def solve_params(request: dict[str, Any]) -> dict[str, Any]:
+    """The solver parameters that determine a solve's result.
+
+    This is exactly what the result cache keys on (together with the
+    problem fingerprint): two requests whose :func:`solve_params` and
+    fingerprints agree are guaranteed the same response payload.
+    Heuristics ignore ``epsilon`` and the GA overrides, so those fields
+    are excluded from their key — a shed GA request therefore lands on
+    the same entry as an explicit HEFT request for the instance.
+    """
+    solver = request["solver"]
+    params: dict[str, Any] = {
+        "seed": request["seed"],
+        "n_realizations": request["n_realizations"],
+    }
+    if solver not in FAST_SOLVERS:
+        params["epsilon"] = request["epsilon"]
+        params["ga"] = request.get("ga") or {}
+    return params
+
+
+def execute_payload(request: dict[str, Any]) -> dict[str, Any]:
+    """Solve one normalized request; returns the cacheable response core.
+
+    The returned dict contains only content derived from the request
+    (schedule, robustness report, solver identification) — no timings or
+    server state — so it can be cached, shipped across the cluster pool
+    and compared bit-for-bit against a direct API run.
+    """
+    from repro.robustness.montecarlo import assess_robustness
+
+    problem = problem_from_dict(request["problem"])
+    solver = request["solver"]
+    seed = request["seed"]
+    result: dict[str, Any] = {
+        "solver": solver,
+        "seed": seed,
+        "n_realizations": request["n_realizations"],
+    }
+    if solver in FAST_SOLVERS:
+        schedule = heuristic_for(solver).schedule(problem)
+    else:
+        from repro.core.robust import RobustScheduler
+
+        robust = RobustScheduler(
+            epsilon=request["epsilon"],
+            params=build_ga_params(request.get("ga")),
+            rng=seed,
+        ).solve(problem)
+        schedule = robust.schedule
+        result["epsilon"] = request["epsilon"]
+        result["m_heft"] = robust.m_heft
+        result["ga_generations"] = robust.ga_result.generations
+    report = assess_robustness(schedule, request["n_realizations"], rng=seed + 1)
+    result["schedule"] = schedule_to_dict(schedule)
+    result["report"] = report_to_dict(report)
+    return result

@@ -1,0 +1,276 @@
+"""End-to-end service tests: concurrency, caching, overload shedding.
+
+These drive a real :class:`SchedulerService` over localhost TCP —
+the server's event loop runs on a background thread, clients are
+plain blocking sockets on worker threads, exactly the production
+shape (just in one process so the tests can also read server state).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.problem import SchedulingProblem
+from repro.core.robust import RobustScheduler
+from repro.ga.engine import GAParams
+from repro.graph.generator import DagParams
+from repro.heuristics import HeftScheduler
+from repro.io import report_to_dict, schedule_to_dict
+from repro.platform.uncertainty import UncertaintyParams
+from repro.robustness.montecarlo import assess_robustness
+from repro.service import SchedulerService, ServiceClient, ServiceConfig
+
+N_REAL = 100
+GA_SMALL = {"max_iterations": 10, "stagnation_limit": 5}
+GA_SLOW = {"max_iterations": 200, "stagnation_limit": 200}
+
+
+def _problem(seed: int = 7, n: int = 30) -> SchedulingProblem:
+    return SchedulingProblem.random(
+        m=3,
+        dag_params=DagParams(n=n),
+        uncertainty_params=UncertaintyParams(mean_ul=4.0),
+        rng=seed,
+    )
+
+
+class ServiceHarness:
+    """A live server on a background thread; ``port`` after start."""
+
+    def __init__(self, **config) -> None:
+        self.service = SchedulerService(ServiceConfig(port=0, **config))
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.service.start()
+            self._ready.set()
+            await self.service._shutdown_event.wait()
+            await asyncio.sleep(0.05)
+            await self.service.aclose()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServiceHarness":
+        self._thread.start()
+        assert self._ready.wait(timeout=30), "server did not start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            with self.client() as client:
+                client.shutdown()
+        except OSError:
+            pass
+        self._thread.join(timeout=30)
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def client(self) -> ServiceClient:
+        return ServiceClient("127.0.0.1", self.port, retry_s=5.0)
+
+
+class TestServiceEndToEnd:
+    def test_twenty_concurrent_clients_share_one_cache_entry(self):
+        problem = _problem()
+        with ServiceHarness(workers=1, ga_queue_limit=2) as harness:
+
+            def one_client(i: int) -> dict:
+                with harness.client() as client:
+                    return client.solve(
+                        problem,
+                        solver="heft",
+                        seed=5,
+                        n_realizations=N_REAL,
+                        request_id=i,
+                    )
+
+            with ThreadPoolExecutor(max_workers=20) as pool:
+                first = list(pool.map(one_client, range(20)))
+                second = list(pool.map(one_client, range(20, 40)))
+
+            assert all(r["ok"] for r in first + second)
+            # Identical content regardless of cache/coalesce path.
+            reports = {r["report"]["r1"] for r in first + second}
+            assert len(reports) == 1
+            assert {r["id"] for r in first} == set(range(20))
+            # One computation total: everything else was a cache hit or
+            # rode the in-flight future (micro-batching).
+            computed = [
+                r for r in first + second if not r["cached"] and not r["coalesced"]
+            ]
+            assert len(computed) == 1
+            with harness.client() as client:
+                status = client.status()
+            cache = status["cache"]
+            assert cache["entries"] == 1
+            assert cache["hits"] >= 20  # the whole second round, at least
+            # Every request does exactly one lookup; of the misses, all
+            # but the single computing request coalesced onto its future.
+            assert cache["hits"] + cache["misses"] == 40
+            assert cache["misses"] == status["requests"]["coalesced"] + 1
+
+    def test_ga_overload_sheds_to_degraded_heuristic(self):
+        problem = _problem(n=30)
+        n_requests = 12
+        with ServiceHarness(workers=1, ga_queue_limit=2) as harness:
+
+            def one_ga(seed: int) -> dict:
+                with harness.client() as client:
+                    return client.solve(
+                        problem,
+                        solver="ga",
+                        epsilon=1.3,
+                        seed=seed,
+                        n_realizations=N_REAL,
+                        ga=GA_SLOW,
+                    )
+
+            with ThreadPoolExecutor(max_workers=n_requests) as pool:
+                responses = list(pool.map(one_ga, range(n_requests)))
+
+            # Overload degrades, never errors: every response is a schedule.
+            assert all(r["ok"] for r in responses)
+            degraded = [r for r in responses if r["degraded"]]
+            served = [r for r in responses if not r["degraded"]]
+            # 1 running + 2 queued can be served as GA; the rest shed.
+            assert len(served) <= 3
+            assert len(degraded) >= n_requests - 3
+            heft_report = report_to_dict(
+                assess_robustness(
+                    HeftScheduler().schedule(problem), N_REAL, rng=1
+                )
+            )
+            for r in degraded:
+                assert r["solver"] == "heft"
+                assert r["requested_solver"] == "ga"
+                assert "queue" in r["degraded_reason"]
+                # The degraded answer is the real HEFT result (seed 0's
+                # assessment stream is seed+1) — valid, just less robust.
+                if r["seed"] == 0:
+                    assert r["report"] == heft_report
+            with harness.client() as client:
+                status = client.status()
+            assert status["admission"]["shed_queue_full"] == len(degraded)
+            assert status["requests"]["degraded"] == len(degraded)
+
+    def test_bit_identical_to_direct_api(self):
+        problem = _problem(seed=3, n=25)
+        with ServiceHarness(workers=1, ga_queue_limit=2) as harness:
+            with harness.client() as client:
+                ga = client.solve(
+                    problem,
+                    solver="ga",
+                    epsilon=1.2,
+                    seed=9,
+                    n_realizations=N_REAL,
+                    ga=GA_SMALL,
+                )
+                heft = client.solve(
+                    problem, solver="heft", seed=9, n_realizations=N_REAL
+                )
+        direct = RobustScheduler(
+            epsilon=1.2, params=GAParams(**GA_SMALL), rng=9
+        ).solve(problem)
+        assert ga["schedule"] == schedule_to_dict(direct.schedule)
+        assert ga["report"] == report_to_dict(
+            assess_robustness(direct.schedule, N_REAL, rng=10)
+        )
+        assert ga["m_heft"] == direct.m_heft
+        heft_schedule = HeftScheduler().schedule(problem)
+        assert heft["schedule"] == schedule_to_dict(heft_schedule)
+        assert heft["report"] == report_to_dict(
+            assess_robustness(heft_schedule, N_REAL, rng=10)
+        )
+
+    def test_cluster_pool_backend_matches_serial(self):
+        problem = _problem(seed=5, n=20)
+
+        def solve_with(workers: int) -> dict:
+            with ServiceHarness(workers=workers, ga_queue_limit=4) as harness:
+                with harness.client() as client:
+                    return client.solve(
+                        problem,
+                        solver="ga",
+                        epsilon=1.2,
+                        seed=2,
+                        n_realizations=N_REAL,
+                        ga=GA_SMALL,
+                    )
+
+        serial = solve_with(1)
+        pooled = solve_with(2)
+        assert serial["schedule"] == pooled["schedule"]
+        assert serial["report"] == pooled["report"]
+
+    def test_deadline_aware_shedding(self):
+        problem = _problem(seed=11, n=30)
+        with ServiceHarness(workers=1, ga_queue_limit=8) as harness:
+            with harness.client() as client:
+                # Prime the service-time estimator with one completed solve.
+                client.solve(
+                    problem, solver="ga", epsilon=1.2, seed=1,
+                    n_realizations=N_REAL, ga=GA_SLOW,
+                )
+
+                def occupy(seed: int) -> dict:
+                    with harness.client() as c2:
+                        return c2.solve(
+                            problem, solver="ga", epsilon=1.2, seed=seed,
+                            n_realizations=N_REAL, ga=GA_SLOW,
+                        )
+
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    busy = [pool.submit(occupy, s) for s in (2, 3)]
+                    # Wait until the slot and the queue are occupied.
+                    deadline = __import__("time").monotonic() + 10
+                    while (
+                        harness.service._ga_inflight < 2
+                        and __import__("time").monotonic() < deadline
+                    ):
+                        __import__("time").sleep(0.01)
+                    impatient = client.solve(
+                        problem, solver="ga", epsilon=1.2, seed=4,
+                        n_realizations=N_REAL, ga=GA_SLOW,
+                        deadline_s=1e-6,
+                    )
+                    for f in busy:
+                        assert f.result()["ok"]
+            assert impatient["ok"]
+            assert impatient["degraded"]
+            assert "deadline" in impatient["degraded_reason"]
+
+    def test_malformed_requests_get_error_responses(self):
+        with ServiceHarness(workers=1) as harness:
+            with harness.client() as client:
+                response = client.request({"op": "solve"})
+                assert not response["ok"]
+                assert response["error"]["code"] == "bad-request"
+                response = client.request({"op": "warp"})
+                assert response["error"]["code"] == "unknown-op"
+                response = client.request(
+                    {"op": "solve", "problem": {"format": "nope"}}
+                )
+                assert response["error"]["code"] == "bad-problem"
+                # The connection survives all of it.
+                assert client.ping()
+
+
+@pytest.mark.parametrize("solver", ["cpop", "peft", "minmin"])
+def test_every_fast_solver_served(solver):
+    problem = _problem(seed=13, n=15)
+    with ServiceHarness(workers=1) as harness:
+        with harness.client() as client:
+            response = client.solve(
+                problem, solver=solver, seed=3, n_realizations=50
+            )
+    assert response["ok"]
+    assert response["solver"] == solver
+    assert not response["degraded"]

@@ -1,0 +1,126 @@
+"""Round-trip property tests for the JSON wire format (repro.io.json_io).
+
+The service cache and the cluster checkpoints both assume the JSON
+codec is lossless: ``*_from_dict(*_to_dict(x))`` must reproduce every
+float bit-for-bit, including the non-finite R1/R2 values a never-tardy
+schedule produces, while the encoded payload itself must stay strict
+JSON (no bare NaN/Infinity tokens — ``json.dumps(..., allow_nan=False)``
+always succeeds).
+"""
+
+import json
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import (
+    problem_fingerprint,
+    problem_from_dict,
+    problem_to_dict,
+    report_from_dict,
+    report_to_dict,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.robustness.montecarlo import RobustnessReport, assess_robustness
+from tests.property.strategies import problems, scheduled_problems
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+# R1/R2 are inf for never-tardy / never-missing schedules; NaN can occur
+# in degenerate zero-task aggregates.  The codec must carry all of them.
+robustness_values = st.one_of(
+    finite, st.just(math.inf), st.just(-math.inf), st.just(math.nan)
+)
+
+
+@st.composite
+def reports(draw) -> RobustnessReport:
+    """Arbitrary reports, decoupled from any schedule: the codec must
+    round-trip whatever floats the fields hold, not just reachable ones."""
+    n = draw(st.integers(1, 20))
+    seed = draw(st.integers(0, 2**31 - 1))
+    realized = np.random.default_rng(seed).uniform(0.0, 1e6, size=n)
+    realized.setflags(write=False)
+    return RobustnessReport(
+        expected_makespan=draw(finite),
+        avg_slack=draw(finite),
+        realized_makespans=realized,
+        mean_makespan=draw(finite),
+        mean_tardiness=draw(finite),
+        miss_rate=draw(finite),
+        r1=draw(robustness_values),
+        r2=draw(robustness_values),
+    )
+
+
+def _identical(a: float, b: float) -> bool:
+    """Bit-level float equality: NaN == NaN, and 0.0 != -0.0."""
+    return np.float64(a).tobytes() == np.float64(b).tobytes()
+
+
+@settings(max_examples=100, deadline=None)
+@given(report=reports())
+def test_report_roundtrip_is_bit_exact(report):
+    payload = report_to_dict(report)
+    json.dumps(payload, allow_nan=False)  # strict JSON, always
+    restored = report_from_dict(json.loads(json.dumps(payload)))
+    for field in (
+        "expected_makespan",
+        "avg_slack",
+        "mean_makespan",
+        "mean_tardiness",
+        "miss_rate",
+        "r1",
+        "r2",
+    ):
+        assert _identical(getattr(restored, field), getattr(report, field))
+    np.testing.assert_array_equal(
+        restored.realized_makespans, report.realized_makespans
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(problem=problems())
+def test_problem_roundtrip_is_bit_exact(problem):
+    payload = problem_to_dict(problem)
+    json.dumps(payload, allow_nan=False)
+    restored = problem_from_dict(json.loads(json.dumps(payload)))
+    assert restored.n == problem.n
+    assert restored.m == problem.m
+    assert list(restored.graph.edges()) == list(problem.graph.edges())
+    np.testing.assert_array_equal(
+        restored.uncertainty.bcet, problem.uncertainty.bcet
+    )
+    np.testing.assert_array_equal(
+        restored.uncertainty.ul, problem.uncertainty.ul
+    )
+    # The content fingerprint — the service cache key — is stable across
+    # the round trip, so re-submitted problems hit the same cache entry.
+    assert problem_fingerprint(restored) == problem_fingerprint(problem)
+    assert payload["fingerprint"] == problem_fingerprint(problem)
+
+
+@settings(max_examples=50, deadline=None)
+@given(item=scheduled_problems())
+def test_schedule_roundtrip_preserves_assignment(item):
+    problem, schedule = item
+    payload = schedule_to_dict(schedule)
+    json.dumps(payload, allow_nan=False)
+    restored = schedule_from_dict(json.loads(json.dumps(payload)), problem)
+    assert restored == schedule
+    assert restored.as_pairs() == schedule.as_pairs()
+
+
+@settings(max_examples=25, deadline=None)
+@given(item=scheduled_problems(min_n=2, max_n=8))
+def test_reachable_reports_roundtrip(item):
+    """End-to-end: reports produced by the actual Monte-Carlo assessor
+    (the ones the service returns) survive the codec, inf R1/R2 included."""
+    problem, schedule = item
+    report = assess_robustness(schedule, 20, rng=0)
+    restored = report_from_dict(json.loads(json.dumps(report_to_dict(report))))
+    assert _identical(restored.r1, report.r1)
+    assert _identical(restored.r2, report.r2)
+    assert _identical(restored.mean_makespan, report.mean_makespan)

@@ -196,3 +196,43 @@ class TestTraceFlag:
             ]
         )
         assert "deprecated" in capsys.readouterr().err
+
+    def test_metrics_json_forwards_into_trace_sink(self, tmp_path, capsys):
+        """--metrics-json alone derives a trace next to the legacy file."""
+        metrics = tmp_path / "m.json"
+        run(["fig4", "--scale", "smoke", "--quiet", "--metrics-json", str(metrics)])
+        derived = tmp_path / "m.trace.jsonl"
+        note = capsys.readouterr().err
+        assert str(derived) in note
+        assert metrics.exists()  # legacy sink still written
+        records = [
+            json.loads(line) for line in derived.read_text().splitlines()
+        ]
+        spans = [r["name"] for r in records if r.get("type") == "span"]
+        assert "cli.fig4" in spans
+        # The legacy metrics-file content (cluster gauges) is in the
+        # trace too — the forwarded sink loses nothing.
+        gauges = {r["name"] for r in records if r.get("type") == "gauge"}
+        assert any(name.startswith("cluster.") for name in gauges)
+
+    def test_metrics_json_defers_to_explicit_trace(self, tmp_path, capsys):
+        """--metrics-json plus --trace: one trace, at the explicit path."""
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "explicit.jsonl"
+        run(
+            [
+                "fig4", "--scale", "smoke", "--quiet",
+                "--metrics-json", str(metrics),
+                "--trace", str(trace),
+            ]
+        )
+        assert "deprecated" in capsys.readouterr().err
+        assert trace.exists()
+        assert metrics.exists()
+        assert not (tmp_path / "m.trace.jsonl").exists()
+        spans = [
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+            if json.loads(line).get("type") == "span"
+        ]
+        assert "cli.fig4" in spans

@@ -330,3 +330,132 @@ class TestResumeElapsedCarry:
         assert ck.load() == {"a": 1}
         assert ck.run_elapsed == 0.0
         assert ck.busy_elapsed == 0.5
+
+
+class TestIncrementalSubmitPoll:
+    """The non-blocking submit/poll API the service daemon drives."""
+
+    def test_serial_submit_poll_roundtrip(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="a", fn=_double, args=(3,)))
+        scheduler.submit(TaskSpec(key="b", fn=_double, args=(5,)))
+        assert scheduler.pending() == 2
+        results = {}
+        while scheduler.pending():
+            for outcome in scheduler.poll():
+                assert outcome.ok
+                results[outcome.key] = outcome.result
+        assert results == {"a": 6, "b": 10}
+        scheduler.close()
+
+    def test_each_outcome_delivered_exactly_once(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="a", fn=_double, args=(1,)))
+        first = scheduler.poll()
+        assert [o.key for o in first] == ["a"]
+        assert scheduler.poll() == []
+        scheduler.close()
+
+    def test_dependencies_and_dep_results(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="x", fn=_double, args=(2,)))
+        scheduler.submit(TaskSpec(key="y", fn=_double, args=(3,)))
+        scheduler.submit(
+            TaskSpec(
+                key="z",
+                fn=_sum_deps,
+                args=(100,),
+                deps=("x", "y"),
+                pass_dep_results=True,
+            )
+        )
+        results = {}
+        while scheduler.pending():
+            for outcome in scheduler.poll():
+                results[outcome.key] = outcome.result
+        assert results["z"] == 4 + 6 + 100
+        scheduler.close()
+
+    def test_unknown_dep_rejected(self):
+        scheduler = Scheduler()
+        with pytest.raises(ValueError, match="unknown task"):
+            scheduler.submit(TaskSpec(key="a", fn=_double, args=(1,), deps=("ghost",)))
+        scheduler.close()
+
+    def test_duplicate_key_rejected(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="a", fn=_double, args=(1,)))
+        with pytest.raises(ValueError, match="duplicate"):
+            scheduler.submit(TaskSpec(key="a", fn=_double, args=(2,)))
+        scheduler.close()
+
+    def test_failed_dependency_cascades(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="bad", fn=_always_raises, max_retries=0))
+        outcomes = {}
+        while scheduler.pending():
+            for outcome in scheduler.poll():
+                outcomes[outcome.key] = outcome
+        # A task submitted after its dependency already failed fails too.
+        scheduler.submit(
+            TaskSpec(key="child", fn=_sum_deps, args=(0,), deps=("bad",))
+        )
+        for outcome in scheduler.poll():
+            outcomes[outcome.key] = outcome
+        assert not outcomes["bad"].ok
+        assert not outcomes["child"].ok
+        assert "dependency" in outcomes["child"].error
+        scheduler.close()
+
+    def test_batch_run_guarded_while_incremental(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="a", fn=_double, args=(1,)))
+        with pytest.raises(RuntimeError, match="incremental"):
+            scheduler.run([TaskSpec(key="b", fn=_double, args=(2,))])
+        scheduler.close()
+        # After close() the batch entry point works again.
+        outcomes = scheduler.run([TaskSpec(key="b", fn=_double, args=(2,))])
+        assert outcomes["b"].result == 4
+
+    def test_close_is_idempotent_and_resets(self):
+        scheduler = Scheduler()
+        scheduler.submit(TaskSpec(key="a", fn=_double, args=(1,)))
+        scheduler.poll()
+        scheduler.close()
+        scheduler.close()
+        scheduler.submit(TaskSpec(key="a", fn=_double, args=(7,)))
+        assert scheduler.poll()[0].result == 14
+        scheduler.close()
+
+    def test_pool_submit_poll(self):
+        scheduler = Scheduler(ClusterConfig(n_workers=2))
+        for i in range(6):
+            scheduler.submit(TaskSpec(key=f"t{i}", fn=_double, args=(i,)))
+        results = {}
+        deadline = time.monotonic() + 60
+        while scheduler.pending() and time.monotonic() < deadline:
+            for outcome in scheduler.poll(timeout=0.2):
+                assert outcome.ok, outcome.error
+                results[outcome.key] = outcome.result
+        scheduler.close()
+        assert results == {f"t{i}": 2 * i for i in range(6)}
+
+    def test_pool_matches_serial_results(self):
+        serial = Scheduler()
+        pool = Scheduler(ClusterConfig(n_workers=2))
+        for i in range(4):
+            spec = TaskSpec(key=f"t{i}", fn=_double, args=(i,))
+            serial.submit(spec)
+            pool.submit(spec)
+        def drain(s):
+            out = {}
+            deadline = time.monotonic() + 60
+            while s.pending() and time.monotonic() < deadline:
+                for o in s.poll(timeout=0.2):
+                    out[o.key] = o.result
+            return out
+        try:
+            assert drain(serial) == drain(pool)
+        finally:
+            serial.close()
+            pool.close()

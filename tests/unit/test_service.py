@@ -1,0 +1,261 @@
+"""Unit tests for repro.service: protocol, cache, admission, solvers."""
+
+import json
+
+import pytest
+
+from repro.io import problem_fingerprint, problem_to_dict, report_from_dict
+from repro.service import (
+    PROTOCOL_VERSION,
+    AdmissionController,
+    ProtocolError,
+    ResultCache,
+    cache_key,
+    execute_payload,
+)
+from repro.service.protocol import (
+    decode,
+    encode,
+    error_response,
+    normalize_request,
+    ok_response,
+)
+from repro.service.solvers import solve_params
+
+
+def _solve_request(problem, **overrides):
+    message = {
+        "op": "solve",
+        "problem": problem_to_dict(problem),
+        "solver": "heft",
+        "seed": 1,
+        "n_realizations": 50,
+    }
+    message.update(overrides)
+    return normalize_request(message)
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        message = {"op": "ping", "id": 7}
+        assert decode(encode(message)) == message
+
+    def test_encode_is_single_line(self):
+        line = encode({"a": "x\ny", "b": [1, 2]})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError) as err:
+            decode(b"{not json")
+        assert err.value.code == "bad-json"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError) as err:
+            decode(b"[1, 2]")
+        assert err.value.code == "bad-json"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as err:
+            normalize_request({"op": "dance"})
+        assert err.value.code == "unknown-op"
+
+    def test_solve_requires_problem(self):
+        with pytest.raises(ProtocolError) as err:
+            normalize_request({"op": "solve"})
+        assert err.value.code == "bad-request"
+
+    def test_solve_defaults(self, small_random_problem):
+        request = _solve_request(small_random_problem)
+        assert request["solver"] == "heft"
+        assert request["epsilon"] == 1.0
+        assert request["deadline_s"] is None
+        assert request["ga"] == {}
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("solver", "simplex"),
+            ("epsilon", 0.0),
+            ("epsilon", "big"),
+            ("seed", 1.5),
+            ("seed", True),
+            ("n_realizations", 0),
+            ("deadline_s", -1.0),
+            ("ga", {"mutation_prob": 1}),
+            ("ga", {"max_iterations": 0}),
+        ],
+    )
+    def test_solve_rejects_bad_fields(self, small_random_problem, field, value):
+        with pytest.raises(ProtocolError):
+            _solve_request(small_random_problem, **{field: value})
+
+    def test_responses_carry_protocol_version(self):
+        assert ok_response(3)["protocol"] == PROTOCOL_VERSION
+        err = error_response(3, "bad-request", "nope")
+        assert err["protocol"] == PROTOCOL_VERSION
+        assert err["error"]["code"] == "bad-request"
+        assert not err["ok"]
+
+    def test_responses_are_strict_json(self):
+        # allow_nan=False: a response with a NaN would fail to encode.
+        with pytest.raises(ValueError):
+            encode(ok_response(1, value=float("nan")))
+
+
+class TestResultCache:
+    def test_get_put_and_counters(self):
+        cache = ResultCache(max_bytes=10_000)
+        assert cache.get("k") is None
+        assert cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+
+    def test_get_returns_copy(self):
+        cache = ResultCache()
+        cache.put("k", {"v": 1})
+        cache.get("k")["v"] = 999
+        assert cache.get("k")["v"] == 1
+
+    def test_lru_eviction_under_byte_budget(self):
+        entry = {"v": "x" * 100}
+        size = len(json.dumps(entry, separators=(",", ":")))
+        cache = ResultCache(max_bytes=3 * size)
+        for name in "abc":
+            cache.put(name, entry)
+        cache.get("a")  # refresh a: b is now least-recently-used
+        cache.put("d", entry)
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["bytes"] <= cache.max_bytes
+
+    def test_oversized_entry_not_stored(self):
+        cache = ResultCache(max_bytes=10)
+        assert not cache.put("k", {"v": "x" * 100})
+        assert len(cache) == 0
+
+    def test_replacement_does_not_leak_bytes(self):
+        cache = ResultCache(max_bytes=10_000)
+        cache.put("k", {"v": "x" * 100})
+        cache.put("k", {"v": "y"})
+        assert cache.stats()["bytes"] == len(json.dumps({"v": "y"}, separators=(",", ":")))
+
+    def test_cache_key_is_order_insensitive(self):
+        a = cache_key("fp", "ga", seed=1, epsilon=1.5)
+        b = cache_key("fp", "ga", epsilon=1.5, seed=1)
+        assert a == b
+        assert a != cache_key("fp", "ga", seed=2, epsilon=1.5)
+        assert a != cache_key("fp2", "ga", seed=1, epsilon=1.5)
+
+    def test_solve_params_split_by_tier(self, small_random_problem):
+        heft = _solve_request(small_random_problem, solver="heft", epsilon=1.7)
+        ga = _solve_request(small_random_problem, solver="ga", epsilon=1.7)
+        # Heuristics ignore epsilon, so it must not fragment their keys...
+        assert "epsilon" not in solve_params(heft)
+        # ...while the GA result depends on it.
+        assert solve_params(ga)["epsilon"] == 1.7
+
+
+class TestAdmissionController:
+    def test_fast_tier_always_admitted(self):
+        admission = AdmissionController(ga_queue_limit=0, ga_workers=1)
+        decision = admission.route("heft", ga_inflight=100)
+        assert decision.tier == "fast"
+        assert admission.stats()["admitted_fast"] == 1
+
+    def test_ga_admitted_while_queue_has_room(self):
+        admission = AdmissionController(ga_queue_limit=2, ga_workers=1)
+        # inflight 0..2 -> queued 0..1 -> admitted; inflight 3 -> queued 2 -> shed
+        for inflight in range(3):
+            assert admission.route("ga", inflight).tier == "ga"
+        decision = admission.route("ga", 3)
+        assert decision.tier == "shed"
+        assert "queue full" in decision.reason
+        stats = admission.stats()
+        assert stats["admitted_ga"] == 3
+        assert stats["shed"] == 1
+        assert stats["shed_queue_full"] == 1
+
+    def test_zero_depth_queues_nothing(self):
+        admission = AdmissionController(ga_queue_limit=0, ga_workers=2)
+        assert admission.route("ga", 1).tier == "ga"  # free slot
+        assert admission.route("ga", 2).tier == "shed"  # slots busy
+
+    def test_deadline_shed_uses_ewma(self):
+        admission = AdmissionController(ga_queue_limit=100, ga_workers=1)
+        # No history: the deadline cannot be evaluated, depth rules alone.
+        assert admission.route("ga", 5, deadline_s=0.001).tier == "ga"
+        admission.observe_ga_seconds(10.0)
+        decision = admission.route("ga", 5, deadline_s=1.0)
+        assert decision.tier == "shed"
+        assert "deadline" in decision.reason
+        assert admission.stats()["shed_deadline"] == 1
+        # A patient client is still admitted at the same depth.
+        assert admission.route("ga", 5, deadline_s=1000.0).tier == "ga"
+
+    def test_ewma_converges(self):
+        admission = AdmissionController(ewma_alpha=0.5)
+        admission.observe_ga_seconds(4.0)
+        admission.observe_ga_seconds(2.0)
+        assert admission.ga_seconds_ewma == pytest.approx(3.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AdmissionController(ga_queue_limit=-1)
+        with pytest.raises(ValueError):
+            AdmissionController(ga_workers=0)
+
+
+class TestExecutePayload:
+    def test_heuristic_matches_direct_api(self, small_random_problem):
+        from repro.heuristics import HeftScheduler
+        from repro.io import schedule_to_dict
+        from repro.robustness.montecarlo import assess_robustness
+
+        request = _solve_request(small_random_problem, seed=11)
+        result = execute_payload(request)
+        schedule = HeftScheduler().schedule(small_random_problem)
+        assert result["schedule"] == schedule_to_dict(schedule)
+        direct = assess_robustness(schedule, 50, rng=12)
+        restored = report_from_dict(result["report"])
+        assert restored.r1 == direct.r1
+        assert restored.mean_makespan == direct.mean_makespan
+
+    def test_ga_matches_direct_api(self, small_random_problem):
+        from repro.core.robust import RobustScheduler
+        from repro.ga.engine import GAParams
+        from repro.io import schedule_to_dict
+
+        ga = {"max_iterations": 5, "stagnation_limit": 3}
+        request = _solve_request(
+            small_random_problem, solver="ga", seed=4, epsilon=1.3, ga=ga
+        )
+        result = execute_payload(request)
+        direct = RobustScheduler(
+            epsilon=1.3, params=GAParams(**ga), rng=4
+        ).solve(small_random_problem)
+        assert result["schedule"] == schedule_to_dict(direct.schedule)
+        assert result["m_heft"] == direct.m_heft
+        assert result["ga_generations"] == direct.ga_result.generations
+
+    def test_result_is_json_and_reproducible(self, small_random_problem):
+        request = _solve_request(small_random_problem, seed=2)
+        a = execute_payload(request)
+        b = execute_payload(request)
+        assert a == b
+        json.dumps(a, allow_nan=False)  # cacheable strict JSON
+
+    def test_fingerprint_checked(self, small_random_problem):
+        request = _solve_request(small_random_problem)
+        request["problem"]["uncertainty"]["ul"][0][0] += 1.0
+        with pytest.raises(ValueError, match="fingerprint"):
+            execute_payload(request)
+
+    def test_fingerprint_public_helper(self, small_random_problem):
+        payload = problem_to_dict(small_random_problem)
+        assert payload["fingerprint"] == problem_fingerprint(small_random_problem)
