@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Measure the fault-injection layer's cost on the assessment hot path.
+
+Times one HEFT schedule's Monte-Carlo assessment through
+``assess_robustness_faulty`` against the plain ``assess_robustness``
+baseline and writes the medians to ``BENCH_faults.json`` at the
+repository root:
+
+* ``plain`` — ``assess_robustness`` (the vectorized paper path);
+* ``zero_fault`` — the empty scenario under ``rerun-static``; the
+  result is bit-identical to ``plain`` (pinned by the property suite)
+  and its overhead is the price of fault awareness when nothing faults;
+* ``tail_only`` — the ``heavy-tail`` builtin: duration-level faults
+  that keep the vectorized ``batch_makespans`` kernel;
+* ``outage_static`` — the ``outage-mid`` builtin under ``rerun-static``:
+  time-dependent faults force the per-realization outage-aware event
+  loop;
+* ``failure_repair`` — the ``proc-failure`` builtin under ``repair``:
+  the semi-dynamic re-dispatch policy, the most expensive path.
+
+Event-loop modes run fewer realizations (recorded per mode); medians
+are per *call*, so compare ``ms_per_realization``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_faults.py            # write JSON
+    PYTHONPATH=src python scripts/bench_faults.py --no-write # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.faults import BUILTIN_SCENARIOS, FaultScenario, assess_robustness_faulty
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.platform.uncertainty import UncertaintyParams
+from repro.robustness.montecarlo import assess_robustness
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _median_ms(fn, *, budget_s: float = 2.0, min_rounds: int = 5) -> tuple[float, int]:
+    """Median wall-clock milliseconds of ``fn()`` over a time budget."""
+    fn()  # warm caches (schedule evaluation, kernels)
+    times: list[float] = []
+    t_stop = time.perf_counter() + budget_s
+    while len(times) < min_rounds or time.perf_counter() < t_stop:
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+        if len(times) >= 10_000:
+            break
+    times.sort()
+    return times[len(times) // 2] * 1e3, len(times)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print timings without updating BENCH_faults.json",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="per-mode time budget in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_faults.json",
+        help="output path (default: BENCH_faults.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    problem = SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=60),
+        uncertainty_params=UncertaintyParams(mean_ul=4.0),
+        rng=0,
+    )
+    schedule = HeftScheduler().schedule(problem)
+
+    r_fast = 500  # vectorized modes
+    r_slow = 50  # per-realization event-loop modes
+    modes = {
+        "plain": (
+            r_fast,
+            lambda: assess_robustness(schedule, r_fast, rng=1),
+        ),
+        "zero_fault": (
+            r_fast,
+            lambda: assess_robustness_faulty(
+                schedule, FaultScenario.none(), r_fast, rng=1
+            ),
+        ),
+        "tail_only": (
+            r_fast,
+            lambda: assess_robustness_faulty(
+                schedule, BUILTIN_SCENARIOS["heavy-tail"], r_fast, rng=1
+            ),
+        ),
+        "outage_static": (
+            r_slow,
+            lambda: assess_robustness_faulty(
+                schedule, BUILTIN_SCENARIOS["outage-mid"], r_slow, rng=1
+            ),
+        ),
+        "failure_repair": (
+            r_slow,
+            lambda: assess_robustness_faulty(
+                schedule,
+                BUILTIN_SCENARIOS["proc-failure"],
+                r_slow,
+                rng=1,
+                policy="repair",
+            ),
+        ),
+    }
+
+    results = {}
+    for name, (n_real, fn) in modes.items():
+        median, rounds = _median_ms(fn, budget_s=args.budget)
+        results[name] = {
+            "median_ms": round(median, 4),
+            "n_realizations": n_real,
+            "ms_per_realization": round(median / n_real, 5),
+            "rounds": rounds,
+        }
+        print(
+            f"{name:15s} {median:10.3f} ms / {n_real:4d} realizations "
+            f"({median / n_real:8.4f} ms each, {rounds} rounds)"
+        )
+
+    zero_fault_overhead = (
+        results["zero_fault"]["median_ms"] / results["plain"]["median_ms"] - 1.0
+    )
+    print(f"zero-fault overhead vs plain: {zero_fault_overhead:+.2%}")
+
+    record = {
+        "workload": "heft_n60_m4_ul4",
+        "modes": results,
+        "zero_fault_overhead": round(zero_fault_overhead, 4),
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+    }
+    if not args.no_write:
+        args.output.write_text(json.dumps(record, indent=1) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Check that local markdown links point at files that exist.
+
+Scans markdown files for inline links/images (``[text](target)``),
+ignores external targets (``http(s)://``, ``mailto:``) and pure anchors
+(``#section``), resolves relative targets against the containing file,
+and fails when a target is missing.  Anchors on local targets
+(``guide.md#section``) are checked for file existence only.
+
+Usage::
+
+    python scripts/check_links.py README.md docs          # files and/or dirs
+    python scripts/check_links.py                         # default: repo docs
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links and images; the target stops at whitespace or the closing
+# paren (markdown titles like [x](y "title") keep only the path part).
+_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.md")))
+        elif p.suffix.lower() == ".md":
+            files.append(p)
+        else:
+            raise SystemExit(f"not a markdown file or directory: {p}")
+    return files
+
+
+def check_file(md: Path) -> list[tuple[str, str]]:
+    """Return (link, reason) for every broken local link in *md*."""
+    broken: list[tuple[str, str]] = []
+    text = md.read_text()
+    # Fenced code blocks contain example snippets, not navigation.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith("#") or _SCHEME.match(target):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (md.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append((target, f"missing: {resolved}"))
+    return broken
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="markdown files and/or directories to scan "
+        "(default: README.md, *.md, docs/ at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [
+        *sorted(REPO_ROOT.glob("*.md")),
+        REPO_ROOT / "docs",
+    ]
+    files = iter_markdown(paths)
+    if not files:
+        raise SystemExit("no markdown files found")
+
+    n_broken = 0
+    for md in files:
+        for link, reason in check_file(md):
+            print(f"{md}: broken link ({link}) -> {reason}", file=sys.stderr)
+            n_broken += 1
+    print(f"checked {len(files)} markdown files: {n_broken} broken links")
+    return 1 if n_broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

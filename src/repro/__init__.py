@@ -22,11 +22,22 @@ Layers (see DESIGN.md): :mod:`repro.graph` (DAGs), :mod:`repro.platform`
 evaluation), :mod:`repro.heuristics` (HEFT & friends), :mod:`repro.ga`
 (the genetic algorithm), :mod:`repro.robustness` (Monte-Carlo metrics),
 :mod:`repro.moop` (Pareto/NSGA-II extension), :mod:`repro.experiments`
-(per-figure drivers), :mod:`repro.sim` (event-driven oracle).
+(per-figure drivers), :mod:`repro.sim` (event-driven oracle),
+:mod:`repro.faults` (fault injection & reactive policies).
 """
 
 from repro.core.problem import SchedulingProblem
 from repro.core.robust import RobustResult, RobustScheduler
+from repro.faults import (
+    BUILTIN_SCENARIOS,
+    FaultAssessment,
+    FaultScenario,
+    LinkFault,
+    OutageFault,
+    SlowdownFault,
+    TailFault,
+    assess_robustness_faulty,
+)
 from repro.ga.engine import GAParams, GeneticScheduler
 from repro.ga.fitness import (
     EpsilonConstraintFitness,
@@ -102,6 +113,15 @@ __all__ = [
     "convergence_profile",
     "clark_makespan",
     "analytic_robustness",
+    # fault injection
+    "FaultScenario",
+    "SlowdownFault",
+    "OutageFault",
+    "LinkFault",
+    "TailFault",
+    "FaultAssessment",
+    "assess_robustness_faulty",
+    "BUILTIN_SCENARIOS",
     # visualization
     "render_gantt",
 ]

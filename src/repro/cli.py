@@ -10,6 +10,7 @@ Usage::
     python -m repro trace-summary run.jsonl         # inspect the trace
     python -m repro serve --port 8642 --workers 2   # scheduler service
     python -m repro submit --port 8642 --solver ga --epsilon 1.2
+    python -m repro faults --scenario proc-failure  # fault injection
 
 or via the installed entry point ``repro-sched``.
 """
@@ -219,6 +220,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sens.add_argument(
         "--sens-ul", type=float, default=4.0, help="fixed uncertainty level"
+    )
+
+    faults = sub.add_parser(
+        "faults",
+        help="assess schedulers under injected fault scenarios "
+        "(see docs/faults.md)",
+    )
+    instance_args(faults)
+    faults.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help="builtin scenario name or a JSON/YAML spec path; repeatable "
+        "(default: every builtin; see --list-scenarios)",
+    )
+    faults.add_argument(
+        "--epsilon", type=float, default=1.4, help="robust GA eps budget"
+    )
+    faults.add_argument(
+        "--realizations",
+        type=_positive_int,
+        default=200,
+        help="Monte-Carlo realizations per cell (default: 200)",
+    )
+    faults.add_argument(
+        "--instances",
+        type=_positive_int,
+        default=1,
+        help="instances to average over (default: 1)",
+    )
+    faults.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="cluster worker processes for the instance fan-out "
+        "(results are identical for any value)",
+    )
+    faults.add_argument(
+        "--policies",
+        nargs="+",
+        choices=("rerun-static", "repair", "dynamic"),
+        default=["rerun-static", "repair", "dynamic"],
+        help="reactive policies to grid over (default: all three)",
+    )
+    faults.add_argument(
+        "--ga-iterations",
+        type=_positive_int,
+        default=80,
+        help="robust GA generations (default: 80)",
+    )
+    faults.add_argument(
+        "--ga-population",
+        type=_positive_int,
+        default=20,
+        help="robust GA population size (default: 20)",
+    )
+    faults.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the builtin scenario library and exit",
+    )
+    faults.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
     )
 
     serve = sub.add_parser(
@@ -511,6 +576,61 @@ def _run_export(args: argparse.Namespace) -> str:
     return "\n".join(messages)
 
 
+def _run_faults(args: argparse.Namespace) -> str:
+    from repro.experiments.config import Scale
+    from repro.experiments.fault_grid import run_fault_grid
+    from repro.faults import BUILTIN_SCENARIOS, resolve_scenario
+    from repro.ga.engine import GAParams
+
+    if args.list_scenarios:
+        lines = ["builtin fault scenarios:"]
+        for name, scenario in sorted(BUILTIN_SCENARIOS.items()):
+            kinds = ", ".join(type(f).__name__ for f in scenario.faults) or "empty"
+            rel = " [relative times]" if scenario.relative_times else ""
+            lines.append(f"  {name:14s} {kinds}{rel}")
+        return "\n".join(lines)
+
+    names = args.scenario or sorted(BUILTIN_SCENARIOS)
+    try:
+        scenarios = tuple(resolve_scenario(s) for s in names)
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+
+    strategies: list[tuple[str, str]] = []
+    for policy in dict.fromkeys(args.policies):
+        if policy == "dynamic":
+            strategies.append(("online", "dynamic"))
+        else:
+            strategies.append(("heft", policy))
+            strategies.append(("robust-ga", policy))
+
+    scale = Scale(
+        name="cli-faults",
+        n_graphs=args.instances,
+        n_realizations=args.realizations,
+        n_tasks=args.tasks,
+        ga_max_iterations=args.ga_iterations,
+        ga_stagnation=max(args.ga_iterations // 4, 1),
+    )
+    config = ExperimentConfig(scale=scale, m=args.procs, seed=args.seed)
+    ga_params = GAParams(
+        population_size=args.ga_population,
+        max_iterations=args.ga_iterations,
+        stagnation_limit=scale.ga_stagnation,
+    )
+    results = run_fault_grid(
+        config,
+        scenarios,
+        mean_ul=args.ul,
+        epsilon=args.epsilon,
+        strategies=tuple(strategies),
+        ga_params=ga_params,
+        n_jobs=args.workers if args.workers is not None else 1,
+        progress=_progress(args),
+    )
+    return results.to_table()
+
+
 def _run_serve(args: argparse.Namespace) -> str:
     import asyncio
 
@@ -668,6 +788,8 @@ def _dispatch(args: argparse.Namespace) -> str:
         return _run_pareto(args)
     if args.command == "export":
         return _run_export(args)
+    if args.command == "faults":
+        return _run_faults(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "submit":

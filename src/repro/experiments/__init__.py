@@ -21,6 +21,7 @@ from repro.experiments.best_eps import BestEpsResult, run_best_eps
 from repro.experiments.config import SCALES, ExperimentConfig, Scale
 from repro.experiments.eps_one import EpsOneResult, run_eps_one
 from repro.experiments.eps_sweep import EpsSweepResult, run_eps_sweep
+from repro.experiments.fault_grid import FaultGridResults, run_fault_grid
 from repro.experiments.runner import EpsGridResults, run_eps_grid
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
 from repro.experiments.slack_effect import SlackEffectResult, run_slack_effect
@@ -45,6 +46,8 @@ __all__ = [
     "run_sensitivity",
     "SensitivityResult",
     "make_problem",
+    "run_fault_grid",
+    "FaultGridResults",
     "run_zoo",
     "ZooResult",
 ]

@@ -1,0 +1,209 @@
+"""Realized fault state: piecewise-constant processor speeds + link factors.
+
+A :class:`FaultEnvironment` compiles a scenario's time-dependent faults
+into one queryable object the event simulators consume:
+
+* per processor, a piecewise-constant **speed function** — 1.0 by
+  default, divided by every active slowdown factor, 0.0 during outages
+  (outages dominate);
+* per directed link, a **communication factor** looked up at the
+  transfer's start time.
+
+Execution semantics follow from integrating the speed function: a task
+holding ``work`` nominal duration units started at ``t`` on processor
+``p`` finishes when the integral of ``speed_p`` from ``t`` reaches
+``work``.  An outage inside that span suspends the task (progress kept);
+a permanent outage (speed 0 forever) yields an infinite finish time,
+which propagates through the event loop as an infinite makespan instead
+of a deadlock.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.faults.scenario import LinkFault, OutageFault, SlowdownFault
+
+__all__ = ["FaultEnvironment"]
+
+_INF = float("inf")
+
+
+class FaultEnvironment:
+    """Per-processor speed timelines plus link-degradation lookup.
+
+    Parameters
+    ----------
+    m:
+        Processor count of the platform.
+    proc_faults:
+        :class:`SlowdownFault` / :class:`OutageFault` instances.
+    link_faults:
+        :class:`LinkFault` instances.
+    time_scale:
+        Multiplier applied to every window bound (used by scenarios with
+        ``relative_times``: the bounds are fractions of ``M_0``).
+    """
+
+    __slots__ = ("m", "_breaks", "_speeds", "_dead_from", "_links", "n_windows")
+
+    def __init__(
+        self,
+        m: int,
+        proc_faults=(),
+        link_faults=(),
+        *,
+        time_scale: float = 1.0,
+    ) -> None:
+        if m < 1:
+            raise ValueError(f"need at least one processor, got m={m}")
+        self.m = int(m)
+        scale = float(time_scale)
+
+        per_proc: list[list] = [[] for _ in range(m)]
+        n_windows = 0
+        for f in proc_faults:
+            if not isinstance(f, (SlowdownFault, OutageFault)):
+                raise TypeError(f"not a processor fault: {f!r}")
+            targets = range(m) if f.processor is None else (f.processor,)
+            for p in targets:
+                if p >= m:
+                    raise ValueError(
+                        f"{type(f).__name__} targets processor {p} but m={m}"
+                    )
+                per_proc[p].append(f)
+                n_windows += 1
+        self.n_windows = n_windows
+
+        # Compile each processor's faults into sorted breakpoints with a
+        # constant speed per segment [breaks[i], breaks[i+1]); the last
+        # segment extends to infinity.
+        self._breaks: list[np.ndarray] = []
+        self._speeds: list[np.ndarray] = []
+        self._dead_from: list[float] = []
+        for p in range(m):
+            points = {0.0}
+            for f in per_proc[p]:
+                points.add(f.start * scale)
+                if math.isfinite(f.end):
+                    points.add(f.end * scale)
+            breaks = np.array(sorted(points), dtype=np.float64)
+            speeds = np.empty(breaks.size, dtype=np.float64)
+            for i, t in enumerate(breaks):
+                speed = 1.0
+                for f in per_proc[p]:
+                    lo, hi = f.start * scale, f.end * scale
+                    if lo <= t and t < hi:
+                        if isinstance(f, OutageFault):
+                            speed = 0.0
+                            break
+                        speed /= f.factor
+                speeds[i] = speed
+            self._breaks.append(breaks)
+            self._speeds.append(speeds)
+            # Earliest time after which the processor never runs again.
+            if speeds[-1] > 0.0:
+                self._dead_from.append(_INF)
+            else:
+                j = speeds.size - 1
+                while j > 0 and speeds[j - 1] == 0.0:
+                    j -= 1
+                self._dead_from.append(float(breaks[j]))
+
+        self._links: list[tuple[LinkFault, float, float]] = []
+        for f in link_faults:
+            if not isinstance(f, LinkFault):
+                raise TypeError(f"not a link fault: {f!r}")
+            for side in (f.src, f.dst):
+                if side is not None and side >= m:
+                    raise ValueError(f"LinkFault endpoint {side} out of range for m={m}")
+            self._links.append((f, f.start * scale, f.end * scale))
+
+    # ------------------------------------------------------------------ #
+    # Queries (the simulator contract)
+    # ------------------------------------------------------------------ #
+
+    def speed_at(self, p: int, t: float) -> float:
+        """Instantaneous speed of processor *p* at time *t* (0 = outage)."""
+        if math.isinf(t):
+            return float(self._speeds[p][-1])
+        breaks = self._breaks[p]
+        i = int(np.searchsorted(breaks, t, side="right")) - 1
+        return float(self._speeds[p][max(i, 0)])
+
+    def earliest_start(self, p: int, t: float) -> float:
+        """Earliest time ``>= t`` at which processor *p* can run work.
+
+        Returns ``inf`` when the processor never recovers after *t*.
+        """
+        if math.isinf(t) or math.isnan(t):
+            return _INF if not math.isnan(t) else t
+        breaks, speeds = self._breaks[p], self._speeds[p]
+        i = max(int(np.searchsorted(breaks, t, side="right")) - 1, 0)
+        if speeds[i] > 0.0:
+            return float(t)
+        for j in range(i + 1, breaks.size):
+            if speeds[j] > 0.0:
+                return float(breaks[j])
+        return _INF
+
+    def finish_time(self, p: int, start: float, work: float) -> float:
+        """Completion time of *work* nominal units started at *start* on *p*.
+
+        Integrates the piecewise speed function; outages suspend progress
+        and permanent failures yield ``inf``.  Zero work finishes
+        immediately at *start*.
+        """
+        if work < 0.0 or math.isnan(work):
+            raise ValueError(f"work must be >= 0, got {work}")
+        if math.isinf(start) or math.isnan(start):
+            return _INF
+        if work == 0.0:
+            return float(start)
+        breaks, speeds = self._breaks[p], self._speeds[p]
+        i = max(int(np.searchsorted(breaks, start, side="right")) - 1, 0)
+        t = float(start)
+        remaining = float(work)
+        while i < breaks.size - 1:
+            seg_end = float(breaks[i + 1])
+            speed = float(speeds[i])
+            if speed > 0.0:
+                capacity = (seg_end - t) * speed
+                if remaining <= capacity:
+                    return t + remaining / speed
+                remaining -= capacity
+            t = seg_end
+            i += 1
+        speed = float(speeds[-1])
+        if speed <= 0.0:
+            return _INF
+        return t + remaining / speed
+
+    def comm_factor(self, src: int, dst: int, t: float) -> float:
+        """Communication-time multiplier for a ``src → dst`` transfer
+        starting at time *t* (product of active matching link faults)."""
+        if src == dst or not self._links:
+            return 1.0
+        factor = 1.0
+        for f, lo, hi in self._links:
+            if lo <= t < hi and f.matches(src, dst):
+                factor *= f.factor
+        return factor
+
+    def dead_from(self, p: int) -> float:
+        """Time after which processor *p* never runs again (``inf`` = never)."""
+        return self._dead_from[p]
+
+    @property
+    def has_permanent_failures(self) -> bool:
+        """Whether any processor is permanently lost."""
+        return any(math.isfinite(t) for t in self._dead_from)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        dead = sum(1 for t in self._dead_from if math.isfinite(t))
+        return (
+            f"FaultEnvironment(m={self.m}, windows={self.n_windows}, "
+            f"links={len(self._links)}, permanent_failures={dead})"
+        )

@@ -1,0 +1,141 @@
+"""The ``FaultScenario → PerturbedRealization`` pipeline.
+
+Splits a scenario into its two halves:
+
+* **duration-level** faults (heavy tails) are applied directly to the
+  sampled duration matrix — a pure array transform, so scenarios without
+  time-dependent faults keep the vectorized ``batch_makespans`` path;
+* **time-dependent** faults are compiled into a
+  :class:`~repro.faults.environment.FaultEnvironment` consumed by the
+  outage-aware event loop.
+
+Determinism contract: the base durations are drawn *first*, with exactly
+the same generator calls as the plain Monte-Carlo path, and the tail
+draws consume the stream only *afterwards*.  A zero-fault scenario
+therefore reproduces the plain path's samples bit-for-bit — the
+invariant the property suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.scenario import FaultScenario
+
+__all__ = ["PerturbedRealization", "apply_tail_faults", "realize_perturbed"]
+
+
+def _tail_excess(fault, gen: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Nonnegative heavy-tail excess draws for one :class:`TailFault`."""
+    if fault.family == "pareto":
+        return gen.pareto(fault.shape, size=shape)
+    return gen.lognormal(mean=0.0, sigma=fault.shape, size=shape)
+
+
+def apply_tail_faults(
+    durations: np.ndarray,
+    low: np.ndarray,
+    high: np.ndarray,
+    scenario: FaultScenario,
+    gen: np.random.Generator,
+) -> tuple[np.ndarray, int]:
+    """Replace duration draws with heavy-tail outliers per the scenario.
+
+    Parameters
+    ----------
+    durations:
+        ``(R, n)`` base draws (mutated copy returned; the input array is
+        returned unchanged — same object — when the scenario has no tail
+        faults, so the zero-fault path stays allocation- and RNG-free).
+    low, high:
+        ``(n,)`` per-task support bounds under the assignment.
+    scenario:
+        The fault scenario; only its :class:`TailFault` entries apply.
+    gen:
+        Generator; consumed only when tail faults exist.
+
+    Returns
+    -------
+    (durations, n_outliers):
+        The (possibly new) duration array and how many draws were
+        replaced.
+    """
+    tails = scenario.tail_faults
+    if not tails:
+        return durations, 0
+
+    out = np.array(durations, dtype=np.float64, copy=True)
+    n_real, n = out.shape
+    spread = np.where(high > low, high - low, high)
+    n_outliers = 0
+    for fault in tails:
+        if fault.tasks is None:
+            idx = np.arange(n)
+        else:
+            idx = np.asarray(fault.tasks, dtype=np.int64)
+        shape = (n_real, idx.size)
+        # Full-size draws regardless of the mask keep the stream layout
+        # independent of which draws happen to be outliers.
+        mask = gen.random(shape) < fault.probability
+        excess = _tail_excess(fault, gen, shape)
+        outlier = high[idx] + excess * spread[idx]
+        block = out[:, idx]
+        out[:, idx] = np.where(mask, outlier, block)
+        n_outliers += int(mask.sum())
+    return out, n_outliers
+
+
+@dataclass(frozen=True)
+class PerturbedRealization:
+    """One batch of fault-perturbed realizations, ready to evaluate.
+
+    Attributes
+    ----------
+    durations:
+        ``(R, n)`` per-task durations on the assigned processors, tail
+        faults applied.
+    env:
+        The compiled time-dependent fault state, or ``None`` when the
+        scenario is duration-only (vectorized evaluation stays valid).
+    n_tail_outliers:
+        How many draws were replaced by heavy-tail outliers.
+    """
+
+    durations: np.ndarray
+    env: object | None
+    n_tail_outliers: int
+
+    @property
+    def vectorizable(self) -> bool:
+        """True when the batch can go through ``batch_makespans``."""
+        return self.env is None
+
+
+def realize_perturbed(
+    schedule,
+    scenario: FaultScenario,
+    n_realizations: int,
+    gen: np.random.Generator,
+    *,
+    family: str = "uniform",
+    time_scale: float = 1.0,
+) -> PerturbedRealization:
+    """Sample ``n_realizations`` fault-perturbed duration realizations.
+
+    Draws the base durations exactly as the plain Monte-Carlo path does
+    (same generator calls, same order), then applies tail faults and
+    compiles the time-dependent ones.  With ``scenario.relative_times``,
+    pass the schedule's expected makespan as *time_scale*.
+    """
+    unc = schedule.problem.uncertainty
+    durations = unc.realize_durations(
+        schedule.proc_of, n_realizations, gen, family=family
+    )
+    low, high = unc.duration_bounds(schedule.proc_of)
+    durations, n_outliers = apply_tail_faults(durations, low, high, scenario, gen)
+    env = scenario.environment(schedule.m, time_scale=time_scale)
+    return PerturbedRealization(
+        durations=durations, env=env, n_tail_outliers=n_outliers
+    )

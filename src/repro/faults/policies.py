@@ -1,0 +1,385 @@
+"""Reactive execution policies measured against fault scenarios.
+
+Three ways to run a workload through a faulty environment, ordered by how
+much runtime freedom they get:
+
+``rerun-static``
+    Keep the schedule exactly as planned (assignment *and* order); faults
+    stretch, stall or — under permanent failures — strand it.  This is
+    the paper's execution model dropped into the faulty world, evaluated
+    by the outage-aware event loop (:func:`repro.sim.eventsim.simulate`
+    with an environment).
+
+``repair``
+    Semi-dynamic re-dispatch: the offline *assignment* is kept, each
+    processor reorders its assigned tasks at runtime (the
+    :func:`repro.sim.dynamic.simulate_semi_dynamic` machinery made
+    fault-aware), and a task whose processor can no longer finish it —
+    the processor failed permanently — is re-dispatched MCT-style to the
+    live processor minimizing its expected finish time.
+    :func:`simulate_repair` implements it.
+
+``dynamic``
+    The fully online MCT baseline (:mod:`repro.sim.dynamic`) made
+    fault-aware: every ready task goes to the processor minimizing its
+    expected finish time given the realized state *and* the machine
+    speeds, and dead processors are never chosen.
+    :func:`simulate_dynamic_faulty` implements it.
+
+Duration consistency across processors uses the *luck fraction*: a task
+realized at ``d`` on its assigned processor carries
+``u = (d − low) / (high − low)`` to any other processor ``q`` as
+``low_q + u · (high_q − low_q)`` — the same quantile of the local
+support, so re-dispatching never resamples the world.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.heuristics.heft import upward_ranks
+from repro.obs import runtime as obs
+from repro.sim.dynamic import DynamicRun
+
+__all__ = ["luck_fractions", "simulate_repair", "simulate_dynamic_faulty"]
+
+_INF = float("inf")
+
+
+def luck_fractions(
+    durations: np.ndarray, low: np.ndarray, high: np.ndarray
+) -> np.ndarray:
+    """Per-task quantile of each realized duration within its support.
+
+    Deterministic tasks (``high == low``) get 0; heavy-tail outliers map
+    above 1 and stay outliers on every processor.
+    """
+    span = high - low
+    with np.errstate(invalid="ignore", divide="ignore"):
+        u = np.where(span > 0.0, (durations - low) / np.where(span > 0, span, 1.0), 0.0)
+    return u
+
+
+def _durations_from_luck(u: np.ndarray, low_m: np.ndarray, high_m: np.ndarray) -> np.ndarray:
+    """``(n, m)`` duration matrix realizing luck *u* on every processor."""
+    return low_m + u[:, None] * (high_m - low_m)
+
+
+def simulate_repair(
+    problem: SchedulingProblem,
+    proc_of: np.ndarray,
+    durations: np.ndarray,
+    env,
+    priorities: np.ndarray | None = None,
+) -> DynamicRun:
+    """Fault-aware semi-dynamic execution with permanent-failure repair.
+
+    Parameters
+    ----------
+    problem:
+        The instance (expected times drive re-dispatch decisions).
+    proc_of:
+        ``(n,)`` offline processor assignment.
+    durations:
+        ``(n,)`` realized duration of each task *on its assigned
+        processor*; re-dispatched tasks carry their luck fraction to the
+        new processor.
+    env:
+        A :class:`~repro.faults.environment.FaultEnvironment` (may be
+        ``None`` for a fault-free world).
+    priorities:
+        Tie-breaking priority (larger first); defaults to upward ranks.
+
+    Notes
+    -----
+    Each processor commits, whenever it frees up, to the assigned
+    dependency-satisfied task that can start earliest (ties to the higher
+    priority) — the semi-dynamic policy.  Before committing, the policy
+    checks the task can actually *finish* there; if the processor has
+    failed permanently (finish time infinite) the task is re-dispatched
+    to the live processor minimizing its expected finish time.  When no
+    processor can finish a task, the run degrades to an infinite
+    makespan — matching ``rerun-static`` semantics for a dead world.
+
+    Returns a :class:`~repro.sim.dynamic.DynamicRun` whose ``proc_of``
+    reflects re-dispatches; the number of re-dispatches is recorded on
+    the observability counter ``faults.redispatches``.
+    """
+    n, m = problem.n, problem.m
+    proc_of = np.asarray(proc_of, dtype=np.int64)
+    if proc_of.shape != (n,):
+        raise ValueError(f"proc_of must have shape ({n},), got {proc_of.shape}")
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.shape != (n,):
+        raise ValueError(f"durations must have shape ({n},), got {durations.shape}")
+
+    graph = problem.graph
+    platform = problem.platform
+    expected = problem.expected_times
+    if priorities is None:
+        priorities = upward_ranks(problem)
+
+    low_m = problem.uncertainty.bcet
+    high_m = (2.0 * problem.uncertainty.ul - 1.0) * low_m
+    idx = np.arange(n)
+    u = luck_fractions(durations, low_m[idx, proc_of], high_m[idx, proc_of])
+    dur_m = _durations_from_luck(u, low_m, high_m)
+    # On the assigned processor the realized duration is the input itself,
+    # not its luck-fraction round-trip (which can differ by an ulp).
+    dur_m[idx, proc_of] = durations
+
+    remaining = graph.in_degree().astype(np.int64).copy()
+    start = np.full(n, np.nan, dtype=np.float64)
+    finish = np.full(n, np.nan, dtype=np.float64)
+    started = np.zeros(n, dtype=bool)
+    cur_proc = proc_of.copy()
+    proc_free = np.zeros(m, dtype=np.float64)
+    pools: list[set[int]] = [set() for _ in range(m)]
+    for v in np.flatnonzero(remaining == 0):
+        pools[int(proc_of[v])].add(int(v))
+
+    events: list[tuple[float, int]] = []
+    n_redispatch = 0
+
+    def _comm(e: int, src: int, dst: int, t: float) -> float:
+        c = platform.comm_time(float(graph.edge_data[e]), src, dst)
+        if env is not None and c > 0.0:
+            c *= env.comm_factor(src, dst, t)
+        return c
+
+    def _arrival(v: int, q: int) -> float:
+        """Data-arrival bound of *v* on processor *q* (all preds finished)."""
+        t = 0.0
+        for e in graph.predecessor_edge_indices(v):
+            w = int(graph.edge_src[e])
+            a = finish[w] + _comm(e, int(cur_proc[w]), q, float(finish[w]))
+            if a > t:
+                t = a
+        return t
+
+    def _start_finish(v: int, q: int, work: float) -> tuple[float, float]:
+        t0 = max(float(proc_free[q]), _arrival(v, q))
+        if env is None:
+            return t0, t0 + work
+        t0 = env.earliest_start(q, t0)
+        return t0, env.finish_time(q, t0, work)
+
+    def _redispatch(v: int, p: int) -> None:
+        """Move *v* off *p* to the best processor that can finish it.
+
+        Candidate processors are those whose realized duration for *v*
+        actually completes (finite finish given the failure timeline);
+        among them the expected-EFT minimizer wins, mirroring MCT.  When
+        no processor can finish *v* the task — and the realization — is
+        lost: it completes at infinity so the run ends with an infinite
+        makespan instead of deadlocking.  A task never returns to a
+        processor it was re-dispatched away from (queues only grow), so
+        each task moves at most ``m`` times.
+        """
+        nonlocal n_redispatch
+        best_q, best_eft = -1, _INF
+        for q in range(m):
+            if q == p:
+                continue
+            _, f_real = _start_finish(v, q, float(dur_m[v, q]))
+            if math.isinf(f_real):
+                continue
+            _, eft = _start_finish(v, q, float(expected[v, q]))
+            if eft < best_eft:
+                best_q, best_eft = q, eft
+        pools[p].discard(v)
+        if best_q < 0:
+            start[v] = _INF
+            finish[v] = _INF
+            started[v] = True
+            heapq.heappush(events, (_INF, v))
+            return
+        pools[best_q].add(v)
+        cur_proc[v] = best_q
+        n_redispatch += 1
+        obs.event("faults.redispatch", task=v, src=p, dst=best_q)
+
+    def try_start(p: int) -> bool:
+        """Commit the best startable task of *p*; repair unfinishable ones.
+
+        Starts at most one task (exactly the semi-dynamic commit rule, so
+        the fault-free run is bit-identical to
+        :func:`repro.sim.dynamic.simulate_semi_dynamic`).  Returns True
+        only when it *re-dispatched* something — then the sweep iterates
+        to a fixed point so a repaired task gets a start opportunity on
+        its new processor before the loop blocks on the next event.
+        """
+        candidates = [v for v in pools[p] if not started[v]]
+        if not candidates:
+            return False
+        best_v, best_t, best_f = -1, _INF, _INF
+        for v in sorted(candidates, key=lambda v: -priorities[v]):
+            t0, f = _start_finish(v, p, float(dur_m[v, p]))
+            if t0 < best_t - 1e-15:
+                best_v, best_t, best_f = v, t0, f
+        if best_v < 0 or math.isinf(best_t):
+            # The processor never runs again: everything still pooled
+            # here needs a new home (or is lost, with infinite times).
+            for v in list(pools[p]):
+                if not started[v]:
+                    _redispatch(v, p)
+            return True
+        if math.isinf(best_f):
+            # Startable but not finishable (permanent failure mid-task):
+            # repair just this task; the rest may still fit before death.
+            _redispatch(best_v, p)
+            return True
+        start[best_v] = best_t
+        finish[best_v] = best_f
+        started[best_v] = True
+        pools[p].discard(best_v)
+        proc_free[p] = best_f
+        heapq.heappush(events, (best_f, best_v))
+        return False
+
+    def sweep() -> None:
+        changed = True
+        while changed:
+            changed = False
+            for p in range(m):
+                changed |= try_start(p)
+
+    sweep()
+    completed = 0
+    while events:
+        t, v = heapq.heappop(events)
+        completed += 1
+        for w in graph.successors(v):
+            w = int(w)
+            remaining[w] -= 1
+            if remaining[w] == 0:
+                pools[int(cur_proc[w])].add(w)
+        sweep()
+
+    if completed != n:  # pragma: no cover - graph validated acyclic
+        raise RuntimeError("repair simulation deadlocked")
+    if n_redispatch:
+        obs.add("faults.redispatches", n_redispatch)
+    start.setflags(write=False)
+    finish.setflags(write=False)
+    cur_proc.setflags(write=False)
+    return DynamicRun(
+        makespan=float(finish.max()) if n else 0.0,
+        proc_of=cur_proc,
+        start_times=start,
+        finish_times=finish,
+    )
+
+
+def simulate_dynamic_faulty(
+    problem: SchedulingProblem,
+    durations: np.ndarray,
+    env,
+    priorities: np.ndarray | None = None,
+) -> DynamicRun:
+    """Online MCT execution in a faulty environment.
+
+    The eager just-in-time list policy of
+    :func:`repro.sim.dynamic.simulate_dynamic`, made fault-aware: the
+    per-task placement minimizes the *expected* finish time computed
+    through the environment's speed timelines (so a processor mid-outage
+    or slowed down is priced accordingly), and a processor that can never
+    finish the task (permanent failure) is never chosen while an
+    alternative exists.
+
+    Parameters
+    ----------
+    problem:
+        The instance; expected times drive placement.
+    durations:
+        ``(n, m)`` realized execution times (the chosen processor's entry
+        is consumed per task).
+    env:
+        A :class:`~repro.faults.environment.FaultEnvironment` or ``None``.
+    priorities:
+        Ready-queue priority (larger first); defaults to upward ranks.
+    """
+    n, m = problem.n, problem.m
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.shape != (n, m):
+        raise ValueError(f"durations must be (n={n}, m={m}), got {durations.shape}")
+
+    graph = problem.graph
+    platform = problem.platform
+    expected = problem.expected_times
+    if priorities is None:
+        priorities = upward_ranks(problem)
+
+    remaining = graph.in_degree().astype(np.int64).copy()
+    finish = np.full(n, np.nan, dtype=np.float64)
+    start = np.full(n, np.nan, dtype=np.float64)
+    proc_of = np.full(n, -1, dtype=np.int64)
+    proc_free = np.zeros(m, dtype=np.float64)
+    events: list[tuple[float, int]] = []
+
+    def dispatch(v: int, now: float) -> None:
+        best_p, best_est, best_eft = -1, _INF, _INF
+        for p in range(m):
+            arrival = now
+            for e in graph.predecessor_edge_indices(v):
+                w = int(graph.edge_src[e])
+                c = platform.comm_time(float(graph.edge_data[e]), int(proc_of[w]), p)
+                if env is not None and c > 0.0:
+                    c *= env.comm_factor(int(proc_of[w]), p, float(finish[w]))
+                a = finish[w] + c
+                if a > arrival:
+                    arrival = a
+            est = max(float(proc_free[p]), arrival)
+            if env is None:
+                eft = est + float(expected[v, p])
+            else:
+                est = env.earliest_start(p, est)
+                eft = env.finish_time(p, est, float(expected[v, p]))
+            if eft < best_eft:
+                best_p, best_est, best_eft = p, est, eft
+        if best_p < 0:
+            # Every processor is permanently dead: the task (and the
+            # realization) is lost — record it with infinite times on
+            # processor 0 so the run completes with an infinite makespan.
+            best_p, best_est = 0, _INF
+        if env is None:
+            f = best_est + float(durations[v, best_p])
+        else:
+            f = env.finish_time(best_p, best_est, float(durations[v, best_p]))
+        start[v] = best_est
+        finish[v] = f
+        proc_of[v] = best_p
+        proc_free[best_p] = max(float(proc_free[best_p]), f)
+        heapq.heappush(events, (f, v))
+
+    for v in sorted((int(v) for v in graph.entry_nodes), key=lambda v: -priorities[v]):
+        dispatch(v, 0.0)
+
+    completed = 0
+    while events:
+        t, v = heapq.heappop(events)
+        completed += 1
+        newly_ready = []
+        for w in graph.successors(v):
+            w = int(w)
+            remaining[w] -= 1
+            if remaining[w] == 0:
+                newly_ready.append(w)
+        for w in sorted(newly_ready, key=lambda w: -priorities[w]):
+            dispatch(w, t)
+
+    if completed != n:  # pragma: no cover - graph validated acyclic
+        raise RuntimeError("faulty dynamic simulation failed to complete all tasks")
+    start.setflags(write=False)
+    finish.setflags(write=False)
+    proc_of.setflags(write=False)
+    return DynamicRun(
+        makespan=float(finish.max()) if n else 0.0,
+        proc_of=proc_of,
+        start_times=start,
+        finish_times=finish,
+    )

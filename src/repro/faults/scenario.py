@@ -1,0 +1,304 @@
+"""Fault scenarios: composable perturbations beyond the paper's model.
+
+The paper's uncertainty model is purely stochastic-duration
+(``c_ij ~ U(b_ij, (2·UL_ij−1)·b_ij)``); its robustness claims are only as
+strong as the perturbations tested.  Related work on robust heterogeneous
+scheduling (Mokhtari et al., arXiv:2005.11050; Gentry et al.,
+arXiv:1901.09312) explicitly models task drops and resource degradation.
+This module defines the perturbation vocabulary used to stress-test
+whether slack-maximizing schedules stay robust under faults the GA never
+saw:
+
+:class:`SlowdownFault`
+    A processor runs ``factor``× slower (``factor < 1`` = speedup) inside
+    a time window; ``end=inf`` makes the change permanent.
+:class:`OutageFault`
+    A processor does no work inside a window — tasks scheduled there
+    stall until recovery (running work is suspended, not lost);
+    ``end=inf`` is a permanent failure.
+:class:`LinkFault`
+    Communication on matching links is ``factor``× slower for transfers
+    *starting* inside the window (the paper's ``TR`` scaled down).
+:class:`TailFault`
+    With probability ``p`` a task's duration draw is replaced by a
+    heavy-tailed outlier (Pareto or lognormal excess beyond the
+    worst-case bound) — stragglers the uniform support cannot produce.
+
+A :class:`FaultScenario` composes any number of faults and classifies
+itself: *duration-level* faults (tails) keep the vectorized Monte-Carlo
+path usable, while *time-dependent* faults (slowdowns, outages, links)
+require the outage-aware event loop (see
+:class:`~repro.faults.environment.FaultEnvironment`).  Scenario windows
+may be expressed in absolute time units or — with ``relative_times`` —
+as fractions of the schedule's expected makespan ``M_0``, which makes one
+scenario meaningful across instances of any size.
+
+Scenarios round-trip to plain dicts (JSON-ready); see
+:mod:`repro.faults.spec` for file I/O and the built-in scenario library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SlowdownFault",
+    "OutageFault",
+    "LinkFault",
+    "TailFault",
+    "FaultScenario",
+]
+
+_INF = float("inf")
+
+
+def _check_window(start: float, end: float) -> None:
+    if not (start >= 0.0) or math.isnan(start):
+        raise ValueError(f"fault window start must be >= 0, got {start}")
+    if not (end > start):
+        raise ValueError(f"fault window must satisfy end > start, got [{start}, {end})")
+
+
+def _check_proc(processor: int | None) -> None:
+    if processor is not None and processor < 0:
+        raise ValueError(f"processor index must be >= 0, got {processor}")
+
+
+@dataclass(frozen=True)
+class SlowdownFault:
+    """Processor ``processor`` (``None`` = every processor) runs
+    ``factor``× slower on ``[start, end)``.
+
+    ``factor > 1`` is degradation, ``factor < 1`` a speedup; overlapping
+    slowdowns on the same processor multiply.  ``end=inf`` makes the
+    change permanent.
+    """
+
+    factor: float
+    processor: int | None = None
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        if not (self.factor > 0.0) or math.isinf(self.factor):
+            raise ValueError(
+                f"slowdown factor must be finite and > 0, got {self.factor} "
+                "(use OutageFault for a dead processor)"
+            )
+        _check_proc(self.processor)
+        _check_window(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class OutageFault:
+    """Processor ``processor`` (``None`` = every processor) does no work
+    on ``[start, end)``.
+
+    Tasks scheduled there stall until recovery; a task already running
+    when the outage begins is suspended and resumes at recovery with its
+    progress intact.  ``end=inf`` is a permanent failure: work that has
+    not finished by ``start`` never finishes on that processor.
+    """
+
+    processor: int | None = None
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        _check_proc(self.processor)
+        _check_window(self.start, self.end)
+
+    @property
+    def permanent(self) -> bool:
+        """True when the processor never recovers."""
+        return math.isinf(self.end)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Transfers ``src → dst`` starting in ``[start, end)`` take
+    ``factor``× their nominal time (the paper's ``TR`` scaled by
+    ``1/factor``).
+
+    ``src``/``dst`` of ``None`` match every source / destination;
+    overlapping matching faults multiply.  Intra-processor transfers stay
+    free (their nominal time is zero).
+    """
+
+    factor: float
+    src: int | None = None
+    dst: int | None = None
+    start: float = 0.0
+    end: float = _INF
+
+    def __post_init__(self) -> None:
+        if not (self.factor > 0.0) or math.isinf(self.factor):
+            raise ValueError(f"link factor must be finite and > 0, got {self.factor}")
+        _check_proc(self.src)
+        _check_proc(self.dst)
+        _check_window(self.start, self.end)
+
+    def matches(self, src: int, dst: int) -> bool:
+        """Whether this fault applies to the ``src → dst`` link."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True)
+class TailFault:
+    """Heavy-tailed duration outliers.
+
+    Independently per (realization, task), with probability
+    ``probability`` the base duration draw is replaced by
+
+    ``high + excess * spread``
+
+    where ``high`` is the worst-case bound ``(2·UL−1)·b``, ``spread`` is
+    the support width ``high − low`` (``high`` itself for deterministic
+    tasks), and ``excess`` is a Pareto(``shape``) or
+    lognormal(0, ``shape``) draw.  Every outlier therefore lands at or
+    beyond the worst case the scheduler planned for — the stragglers of
+    the fault-tolerance literature.  ``tasks`` restricts the fault to a
+    subset of task ids (``None`` = all tasks).
+    """
+
+    probability: float
+    family: str = "pareto"
+    shape: float = 1.5
+    tasks: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError(
+                f"tail probability must be in [0, 1], got {self.probability}"
+            )
+        if self.family not in ("pareto", "lognormal"):
+            raise ValueError(
+                f"tail family must be 'pareto' or 'lognormal', got {self.family!r}"
+            )
+        if not (self.shape > 0.0) or math.isinf(self.shape):
+            raise ValueError(f"tail shape must be finite and > 0, got {self.shape}")
+        if self.tasks is not None:
+            tasks = tuple(int(t) for t in self.tasks)
+            if any(t < 0 for t in tasks):
+                raise ValueError(f"task ids must be >= 0, got {tasks}")
+            object.__setattr__(self, "tasks", tasks)
+
+
+_PROC_FAULTS = (SlowdownFault, OutageFault)
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named, ordered composition of faults.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports and trace attributes.
+    faults:
+        The individual faults, applied jointly.
+    relative_times:
+        When true, every window bound is a fraction of the schedule's
+        expected makespan ``M_0`` (resolved at assessment time), so the
+        scenario scales with the instance.  Tail faults are unaffected
+        (they carry no windows).
+    """
+
+    name: str = "scenario"
+    faults: tuple = ()
+    relative_times: bool = False
+
+    def __post_init__(self) -> None:
+        faults = tuple(self.faults)
+        for f in faults:
+            if not isinstance(f, (SlowdownFault, OutageFault, LinkFault, TailFault)):
+                raise TypeError(f"unknown fault type: {f!r}")
+        object.__setattr__(self, "faults", faults)
+
+    # ------------------------------------------------------------------ #
+    # Classification
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tail_faults(self) -> tuple[TailFault, ...]:
+        """The duration-level faults (vectorized-path compatible)."""
+        return tuple(f for f in self.faults if isinstance(f, TailFault))
+
+    @property
+    def proc_faults(self) -> tuple:
+        """Slowdowns and outages — the processor-timeline faults."""
+        return tuple(f for f in self.faults if isinstance(f, _PROC_FAULTS))
+
+    @property
+    def link_faults(self) -> tuple[LinkFault, ...]:
+        """Communication-degradation faults."""
+        return tuple(f for f in self.faults if isinstance(f, LinkFault))
+
+    @property
+    def time_dependent(self) -> bool:
+        """Whether any fault requires the outage-aware event loop."""
+        return bool(self.proc_faults) or bool(self.link_faults)
+
+    @property
+    def has_permanent_failures(self) -> bool:
+        """Whether any processor is permanently lost."""
+        return any(
+            isinstance(f, OutageFault) and f.permanent for f in self.faults
+        )
+
+    def validate_for(self, n: int, m: int) -> None:
+        """Raise if any fault references a task/processor outside ``n``/``m``."""
+        for f in self.faults:
+            if isinstance(f, _PROC_FAULTS) and f.processor is not None:
+                if f.processor >= m:
+                    raise ValueError(
+                        f"{type(f).__name__} targets processor {f.processor} "
+                        f"but the platform has {m}"
+                    )
+            elif isinstance(f, LinkFault):
+                for side in (f.src, f.dst):
+                    if side is not None and side >= m:
+                        raise ValueError(
+                            f"LinkFault endpoint {side} out of range for m={m}"
+                        )
+            elif isinstance(f, TailFault) and f.tasks is not None:
+                bad = [t for t in f.tasks if t >= n]
+                if bad:
+                    raise ValueError(
+                        f"TailFault targets tasks {bad} but the graph has {n}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def none(cls) -> "FaultScenario":
+        """The empty scenario — assessment is bit-identical to the plain path."""
+        return cls(name="none", faults=())
+
+    def environment(self, m: int, *, time_scale: float = 1.0):
+        """Build the :class:`~repro.faults.environment.FaultEnvironment`
+        realizing this scenario on an ``m``-processor platform.
+
+        Returns ``None`` when the scenario has no time-dependent faults —
+        the caller can keep the vectorized evaluation path.  With
+        ``relative_times``, pass the schedule's ``M_0`` as *time_scale*.
+        """
+        if not self.time_dependent:
+            return None
+        from repro.faults.environment import FaultEnvironment
+
+        scale = float(time_scale) if self.relative_times else 1.0
+        if not (scale > 0.0) or math.isinf(scale):
+            raise ValueError(f"time_scale must be finite and > 0, got {time_scale}")
+        return FaultEnvironment(
+            m, self.proc_faults, self.link_faults, time_scale=scale
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ", ".join(type(f).__name__ for f in self.faults) or "no faults"
+        return f"FaultScenario({self.name!r}: {kinds})"

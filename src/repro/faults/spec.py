@@ -1,0 +1,219 @@
+"""Scenario specs: dict/JSON/YAML round-trip + the built-in library.
+
+A scenario file is a mapping with ``name``, optional ``relative_times``
+and a ``faults`` list, each entry tagged by ``type``::
+
+    name: slow-proc
+    relative_times: true
+    faults:
+      - {type: slowdown, factor: 2.0, processor: 0, start: 0.0, end: 0.5}
+      - {type: tail, probability: 0.02, family: pareto, shape: 1.5}
+
+JSON files use the same shape.  YAML support is gated on PyYAML being
+importable — JSON always works.  Window bounds may be the string
+``"inf"`` (JSON has no infinity literal).
+
+:data:`BUILTIN_SCENARIOS` names a small library covering each fault class
+(usable directly from the CLI: ``repro faults --scenario outage-mid``).
+All builtins use ``relative_times`` so they are meaningful on instances
+of any size.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.faults.scenario import (
+    FaultScenario,
+    LinkFault,
+    OutageFault,
+    SlowdownFault,
+    TailFault,
+)
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "scenario_from_dict",
+    "scenario_to_dict",
+    "load_scenario",
+    "save_scenario",
+    "resolve_scenario",
+]
+
+_INF = float("inf")
+
+_FAULT_TYPES = {
+    "slowdown": SlowdownFault,
+    "outage": OutageFault,
+    "link": LinkFault,
+    "tail": TailFault,
+}
+_TYPE_NAMES = {cls: name for name, cls in _FAULT_TYPES.items()}
+
+
+def _encode_value(v: Any) -> Any:
+    if isinstance(v, float) and math.isinf(v):
+        return "inf"
+    if isinstance(v, tuple):
+        return list(v)
+    return v
+
+
+def _decode_number(v: Any) -> float:
+    if isinstance(v, str):
+        if v.strip().lower() in ("inf", "infinity", ".inf"):
+            return _INF
+        return float(v)
+    return float(v)
+
+
+def scenario_to_dict(scenario: FaultScenario) -> dict:
+    """Plain-dict (JSON-ready) form of *scenario*; inverse of
+    :func:`scenario_from_dict`."""
+    faults = []
+    for f in scenario.faults:
+        entry: dict[str, Any] = {"type": _TYPE_NAMES[type(f)]}
+        for name in f.__dataclass_fields__:
+            entry[name] = _encode_value(getattr(f, name))
+        faults.append(entry)
+    return {
+        "name": scenario.name,
+        "relative_times": scenario.relative_times,
+        "faults": faults,
+    }
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> FaultScenario:
+    """Build a :class:`FaultScenario` from its dict form.
+
+    Raises :class:`ValueError` on unknown fault types or field values the
+    fault constructors reject.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"scenario spec must be a mapping, got {type(data).__name__}")
+    faults = []
+    for entry in data.get("faults", ()):
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"fault entry must be a mapping, got {entry!r}")
+        kind = entry.get("type")
+        cls = _FAULT_TYPES.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown fault type {kind!r}; choose one of {sorted(_FAULT_TYPES)}"
+            )
+        kwargs = {k: v for k, v in entry.items() if k != "type"}
+        unknown = set(kwargs) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown field(s) {sorted(unknown)} for fault type {kind!r}"
+            )
+        for key in ("factor", "start", "end", "probability", "shape"):
+            if key in kwargs:
+                kwargs[key] = _decode_number(kwargs[key])
+        if kwargs.get("tasks") is not None:
+            kwargs["tasks"] = tuple(int(t) for t in kwargs["tasks"])
+        faults.append(cls(**kwargs))
+    return FaultScenario(
+        name=str(data.get("name", "scenario")),
+        faults=tuple(faults),
+        relative_times=bool(data.get("relative_times", False)),
+    )
+
+
+def load_scenario(path: str | Path) -> FaultScenario:
+    """Load a scenario spec from a ``.json``/``.yaml``/``.yml`` file.
+
+    YAML requires PyYAML; without it, a YAML path raises a
+    :class:`RuntimeError` pointing at the JSON alternative.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise RuntimeError(
+                f"reading {path.name} needs PyYAML, which is not installed; "
+                "use a .json spec instead"
+            ) from exc
+        data = yaml.safe_load(text)
+    else:
+        data = json.loads(text)
+    return scenario_from_dict(data)
+
+
+def save_scenario(scenario: FaultScenario, path: str | Path) -> Path:
+    """Write *scenario* as a spec file (format chosen by extension)."""
+    path = Path(path)
+    data = scenario_to_dict(scenario)
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise RuntimeError(
+                f"writing {path.name} needs PyYAML, which is not installed; "
+                "use a .json spec instead"
+            ) from exc
+        path.write_text(yaml.safe_dump(data, sort_keys=False))
+    else:
+        path.write_text(json.dumps(data, indent=2) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Built-in scenario library
+# --------------------------------------------------------------------- #
+
+BUILTIN_SCENARIOS: dict[str, FaultScenario] = {
+    "none": FaultScenario.none(),
+    "slow-proc": FaultScenario(
+        name="slow-proc",
+        faults=(SlowdownFault(factor=2.0, processor=0, start=0.0, end=0.5),),
+        relative_times=True,
+    ),
+    "outage-mid": FaultScenario(
+        name="outage-mid",
+        faults=(OutageFault(processor=0, start=0.3, end=0.6),),
+        relative_times=True,
+    ),
+    "proc-failure": FaultScenario(
+        name="proc-failure",
+        faults=(OutageFault(processor=0, start=0.4),),
+        relative_times=True,
+    ),
+    "heavy-tail": FaultScenario(
+        name="heavy-tail",
+        faults=(TailFault(probability=0.02, family="pareto", shape=1.5),),
+    ),
+    "degraded-net": FaultScenario(
+        name="degraded-net",
+        faults=(LinkFault(factor=3.0, start=0.0, end=0.7),),
+        relative_times=True,
+    ),
+    "mixed": FaultScenario(
+        name="mixed",
+        faults=(
+            SlowdownFault(factor=1.5, processor=1, start=0.0, end=0.8),
+            OutageFault(processor=0, start=0.3, end=0.5),
+            TailFault(probability=0.01, family="lognormal", shape=1.0),
+        ),
+        relative_times=True,
+    ),
+}
+
+
+def resolve_scenario(spec: str) -> FaultScenario:
+    """Resolve a CLI ``--scenario`` value: a builtin name or a file path."""
+    builtin = BUILTIN_SCENARIOS.get(spec)
+    if builtin is not None:
+        return builtin
+    path = Path(spec)
+    if path.exists():
+        return load_scenario(path)
+    raise ValueError(
+        f"unknown scenario {spec!r}: not a builtin "
+        f"({', '.join(sorted(BUILTIN_SCENARIOS))}) and no such file"
+    )

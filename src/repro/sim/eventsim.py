@@ -12,6 +12,17 @@ Semantics (paper Sec. 3.1 and Claim 3.2):
 The implementation is deliberately different from
 :mod:`repro.schedule.evaluation` (event heap vs. topological array passes)
 so the two serve as mutual correctness oracles in the property tests.
+
+The event loop is *fault-aware*: an optional execution environment (see
+:class:`repro.faults.environment.FaultEnvironment`) supplies per-processor
+speed timelines and link-degradation factors.  With an environment, task
+starts stall through outage windows, running work is suspended (progress
+kept) and resumed at recovery, slowdown windows stretch executions, and
+communication times are scaled by the factor active when the transfer
+starts.  A permanent processor failure yields infinite finish times that
+propagate to an infinite makespan — never a deadlock.  Without an
+environment (the default) the loop is byte-for-byte the paper's
+semantics.
 """
 
 from __future__ import annotations
@@ -64,7 +75,12 @@ class SimulationResult:
         return entries
 
 
-def simulate(schedule: Schedule, durations: np.ndarray | None = None) -> SimulationResult:
+def simulate(
+    schedule: Schedule,
+    durations: np.ndarray | None = None,
+    *,
+    env=None,
+) -> SimulationResult:
     """Execute *schedule* under *durations* (default: expected durations).
 
     Parameters
@@ -74,6 +90,13 @@ def simulate(schedule: Schedule, durations: np.ndarray | None = None) -> Simulat
     durations:
         ``(n,)`` actual execution time of every task on its assigned
         processor; defaults to the expected durations.
+    env:
+        Optional fault environment (duck-typed:
+        ``earliest_start(p, t)``, ``finish_time(p, t, work)``,
+        ``comm_factor(src, dst, t)`` — see
+        :class:`repro.faults.environment.FaultEnvironment`).  Tasks on a
+        processor in outage stall until recovery; permanent failures
+        produce infinite finish times and an infinite makespan.
 
     Returns
     -------
@@ -118,8 +141,13 @@ def simulate(schedule: Schedule, durations: np.ndarray | None = None) -> Simulat
         if remaining_preds[v] > 0 or started[v]:
             return
         t0 = max(proc_free[p], ready_time[v])
+        if env is None:
+            f = t0 + durations[v]
+        else:
+            t0 = env.earliest_start(p, t0)
+            f = env.finish_time(p, t0, float(durations[v]))
         start[v] = t0
-        finish[v] = t0 + durations[v]
+        finish[v] = f
         started[v] = True
         proc_free[p] = finish[v]
         next_slot[p] += 1
@@ -134,9 +162,12 @@ def simulate(schedule: Schedule, durations: np.ndarray | None = None) -> Simulat
         completed += 1
         for e in graph.successor_edge_indices(v):
             w = int(graph.edge_dst[e])
-            arrival = t + platform.comm_time(
+            comm = platform.comm_time(
                 float(graph.edge_data[e]), int(proc_of[v]), int(proc_of[w])
             )
+            if env is not None and comm > 0.0:
+                comm *= env.comm_factor(int(proc_of[v]), int(proc_of[w]), t)
+            arrival = t + comm
             if arrival > ready_time[w]:
                 ready_time[w] = arrival
             remaining_preds[w] -= 1

@@ -1,0 +1,127 @@
+"""Property tests: the fault layer is invisible when there are no faults.
+
+The pinned contract (see ``docs/faults.md``): with the empty scenario and
+the default ``rerun-static`` policy, :func:`assess_robustness_faulty`
+makes exactly the same generator calls as the plain
+:func:`assess_robustness` — the realized makespan samples and every
+derived metric are **bit-identical**, not merely close.  Likewise the
+event simulator under a fault-free environment reproduces the plain
+event loop exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    FaultEnvironment,
+    FaultScenario,
+    TailFault,
+    assess_robustness_faulty,
+    simulate_repair,
+)
+from repro.robustness.montecarlo import assess_robustness
+from repro.sim.dynamic import simulate_semi_dynamic
+from repro.sim.eventsim import simulate
+from tests.property.strategies import scheduled_problems
+
+
+def _identical(faulty, plain):
+    assert np.array_equal(faulty.realized_makespans, plain.realized_makespans)
+    assert faulty.expected_makespan == plain.expected_makespan
+    assert faulty.avg_slack == plain.avg_slack
+    assert faulty.mean_makespan == plain.mean_makespan
+    assert faulty.mean_tardiness == plain.mean_tardiness
+    assert faulty.miss_rate == plain.miss_rate
+    assert faulty.r1 == plain.r1
+    assert faulty.r2 == plain.r2
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ps=scheduled_problems(max_n=10),
+    seed=st.integers(0, 2**31 - 1),
+    n_realizations=st.integers(1, 12),
+)
+def test_zero_fault_assessment_is_bit_identical(ps, seed, n_realizations):
+    _, schedule = ps
+    plain = assess_robustness(schedule, n_realizations, rng=seed)
+    faulty = assess_robustness_faulty(
+        schedule, FaultScenario.none(), n_realizations, rng=seed
+    )
+    _identical(faulty, plain)
+    assert faulty.n_failed == 0
+    assert faulty.n_tail_outliers == 0
+    assert faulty.n_redispatches == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ps=scheduled_problems(max_n=8),
+    seed=st.integers(0, 2**31 - 1),
+    chunk_size=st.integers(1, 6),
+)
+def test_zero_fault_identity_holds_under_chunking(ps, seed, chunk_size):
+    _, schedule = ps
+    plain = assess_robustness(schedule, 8, rng=seed, chunk_size=chunk_size)
+    faulty = assess_robustness_faulty(
+        schedule, None, 8, rng=seed, chunk_size=chunk_size
+    )
+    _identical(faulty, plain)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ps=scheduled_problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_never_firing_tail_fault_changes_nothing(ps, seed):
+    """A tail fault with probability 0 consumes its own (post-base) draws
+    but replaces no duration — the samples still match the plain path."""
+    _, schedule = ps
+    scenario = FaultScenario(faults=(TailFault(probability=0.0),))
+    plain = assess_robustness(schedule, 6, rng=seed)
+    faulty = assess_robustness_faulty(schedule, scenario, 6, rng=seed)
+    assert np.array_equal(faulty.realized_makespans, plain.realized_makespans)
+    assert faulty.n_tail_outliers == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ps=scheduled_problems(max_n=10),
+    seed=st.integers(0, 2**31 - 1),
+    probability=st.floats(0.05, 1.0),
+)
+def test_tail_faults_only_ever_inflate_makespans(ps, seed, probability):
+    """Same base draws + longer tasks ⇒ elementwise domination."""
+    _, schedule = ps
+    scenario = FaultScenario(faults=(TailFault(probability=probability),))
+    plain = assess_robustness(schedule, 6, rng=seed)
+    faulty = assess_robustness_faulty(schedule, scenario, 6, rng=seed)
+    assert np.all(faulty.realized_makespans >= plain.realized_makespans)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ps=scheduled_problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_neutral_environment_simulation_is_exact(ps, seed):
+    """`simulate` with a fault-free environment equals `simulate` without
+    one — same floats, not just close."""
+    _, schedule = ps
+    durations = schedule.realize_durations(1, rng=seed)[0]
+    plain = simulate(schedule, durations)
+    neutral = simulate(schedule, durations, env=FaultEnvironment(schedule.m))
+    assert neutral.makespan == plain.makespan
+    assert np.array_equal(neutral.start_times, plain.start_times)
+    assert np.array_equal(neutral.finish_times, plain.finish_times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ps=scheduled_problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_fault_free_repair_matches_semi_dynamic(ps, seed):
+    """Without faults the repair policy *is* the semi-dynamic baseline:
+    nothing to repair, so the fixed-assignment runtime ordering decides."""
+    problem, schedule = ps
+    durations = schedule.realize_durations(1, rng=seed)[0]
+    repair = simulate_repair(problem, schedule.proc_of, durations, None)
+    semi = simulate_semi_dynamic(problem, schedule.proc_of, durations)
+    assert np.array_equal(repair.proc_of, schedule.proc_of)
+    assert repair.makespan == semi.makespan
+    assert np.array_equal(repair.start_times, semi.start_times)
+    assert np.array_equal(repair.finish_times, semi.finish_times)
