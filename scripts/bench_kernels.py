@@ -1,18 +1,31 @@
 #!/usr/bin/env python
 """Benchmark the library's hot kernels and record median timings.
 
-Runs the same five kernels as ``benchmarks/test_perf_kernels.py`` — schedule
+Runs the five kernels of ``benchmarks/test_perf_kernels.py`` — schedule
 construction, static evaluation, 1000-realization batch makespans, HEFT on a
-100-task instance, and one full GA generation — without requiring
-pytest-benchmark, and writes the medians to ``BENCH_kernels.json`` at the
-repository root.  The file establishes the performance trajectory across
-PRs: run the script before and after touching anything on the evaluation
-path and compare the medians.
+100-task instance, and one full GA run — plus ``ga_generation_pop``, the
+marginal cost of a single GA generation through the population kernel
+(selection + variation + one :func:`repro.ga.popeval.evaluate_population`
+dispatch on pre-initialised engine state).  ``ga_generation`` keeps its
+historical definition (a full 1-iteration run, dominated by the fixed
+population-initialisation cost) so it stays comparable across the recorded
+baselines; ``ga_generation_pop`` is what the evolution loop actually pays
+per generation after startup.
+
+Medians go to ``BENCH_kernels.json`` at the repository root.  The file
+establishes the performance trajectory across PRs: run the script before
+and after touching anything on the evaluation path and compare the
+medians.  Extra top-level blocks in the JSON (recorded baselines) are
+always preserved; ``--baseline NAME`` additionally snapshots the
+*existing* file's kernel medians into a new ``NAME`` block before the
+fresh numbers overwrite them, so a before/after pair survives in one file.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_kernels.py            # write JSON
     PYTHONPATH=src python scripts/bench_kernels.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_kernels.py \
+        --baseline baseline_pre_refactor   # archive current medians first
 
 Timings are wall-clock medians over enough rounds to fill a time budget per
 kernel, so occasional scheduler noise does not skew the record.
@@ -32,6 +45,7 @@ import numpy as np
 from repro.core.problem import SchedulingProblem
 from repro.ga.engine import GAParams, GeneticScheduler
 from repro.ga.fitness import SlackFitness
+from repro.ga.selection import binary_tournament
 from repro.graph import _native
 from repro.graph.generator import DagParams
 from repro.heuristics.heft import HeftScheduler
@@ -58,7 +72,7 @@ def _median_ms(fn, *, budget_s: float = 2.0, min_rounds: int = 5) -> tuple[float
 
 
 def build_kernels() -> dict:
-    """The five benchmark kernels on the paper-sized instance (rng pinned)."""
+    """The benchmark kernels on the paper-sized instance (rng pinned)."""
     problem = SchedulingProblem.random(
         m=4,
         dag_params=DagParams(n=100),
@@ -71,6 +85,25 @@ def build_kernels() -> dict:
     durations = schedule.realize_durations(1000, rng=1)
     ga_params = GAParams(max_iterations=1, stagnation_limit=100)
 
+    # Pre-initialised state for the marginal-generation kernel: the
+    # population and its scores are built once, outside the timed region.
+    setup_engine = GeneticScheduler(SlackFitness(), ga_params, rng=2)
+    base_population = setup_engine._initial_population(problem)
+    base_individuals = setup_engine._evaluate_batch(problem, base_population, {})
+    base_scores = setup_engine.fitness.scores(base_individuals)
+
+    def one_generation() -> None:
+        # Marginal cost of one evolution step: selection, variation, one
+        # population-kernel evaluation of the children, and scoring.  A
+        # fresh rng per call keeps every round identical; a fresh cache
+        # makes each child a true miss so the evaluation actually runs.
+        engine = GeneticScheduler(SlackFitness(), ga_params, rng=3)
+        selected = binary_tournament(base_scores, engine._rng)
+        children = engine._next_generation(
+            problem, [base_population[i] for i in selected]
+        )
+        engine.fitness.scores(engine._evaluate_batch(problem, children, {}))
+
     return {
         "schedule_construction": lambda: Schedule(problem, orders),
         "static_evaluation": lambda: evaluate(schedule, expected),
@@ -79,6 +112,7 @@ def build_kernels() -> dict:
         "ga_generation": lambda: GeneticScheduler(
             SlackFitness(), ga_params, rng=2
         ).run(problem),
+        "ga_generation_pop": one_generation,
     }
 
 
@@ -101,6 +135,14 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_kernels.json",
         help="output path (default: BENCH_kernels.json at the repo root)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help=(
+            "snapshot the existing file's kernel medians into a NAME block "
+            "before writing the fresh numbers (refused if NAME exists)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     kernels = build_kernels()
@@ -121,13 +163,26 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_write:
         # Preserve extra top-level sections (e.g. the recorded seed
         # baseline) so re-running the script never loses history.
+        previous = {}
         if args.output.exists():
             try:
                 previous = json.loads(args.output.read_text())
             except (OSError, ValueError):
                 previous = {}
-            for key, value in previous.items():
-                record.setdefault(key, value)
+        if args.baseline:
+            if args.baseline in previous or args.baseline in record:
+                print(f"error: baseline block {args.baseline!r} already exists")
+                return 1
+            if previous.get("kernels"):
+                record[args.baseline] = {
+                    "kernels": {
+                        name: row["median_ms"]
+                        for name, row in previous["kernels"].items()
+                    },
+                    "meta": previous.get("meta", {}),
+                }
+        for key, value in previous.items():
+            record.setdefault(key, value)
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
     return 0

@@ -15,6 +15,17 @@ scenarios:
 * ``ga_cached``     — the GA repeat, which costs the same as a HEFT
   repeat (the cache does not care what it stores).
 
+A separate ``warm_start`` section measures the structural warm-start
+cache on repeat traffic: a batch of distinct instances is solved once
+(populating the server's warm-start store), then re-submitted with a
+different seed — a result-cache miss, so the GA genuinely re-runs.
+The ``warm`` pass lets the store seed each re-solve with the best
+chromosome of the earlier run; the ``cold`` control runs the identical
+traffic with ``warm_start=false``.  The stagnation-driven GA
+configuration makes ``ga_generations`` the generations-to-converge
+count, so the recorded ``mean_generations`` pair is the repeat-traffic
+saving, machine-checkable from the JSON.
+
 Like ``scripts/bench_cluster.py`` this establishes a trajectory across
 PRs: run it before and after touching the service, protocol or cache
 paths and compare.
@@ -49,6 +60,12 @@ SEED = 20060925
 N_TASKS = 40
 N_REALIZATIONS = 200
 GA_OVERRIDES = {"max_iterations": 20, "stagnation_limit": 20}
+
+# The warm-start scenario needs a stagnation-driven stop so that
+# ``ga_generations`` measures generations-to-converge rather than a cap.
+WARM_GA_OVERRIDES = {"max_iterations": 200, "stagnation_limit": 15}
+WARM_N_PROBLEMS = 5
+WARM_N_REALIZATIONS = 50
 
 
 def _problem(seed: int) -> SchedulingProblem:
@@ -139,6 +156,58 @@ def bench_tier(workers: int, n_heft: int, n_ga: int) -> dict:
     return out
 
 
+def bench_warm_start(n_problems: int = WARM_N_PROBLEMS) -> dict:
+    """Repeat-traffic warm-start scenario (see module docstring).
+
+    Each mode gets its own fresh server so the cold control cannot see
+    the warm pass's store or result cache.
+    """
+    from repro.io import problem_to_dict
+
+    payloads = [
+        problem_to_dict(_problem(SEED + 100 + i)) for i in range(n_problems)
+    ]
+    out: dict = {}
+    for mode, warm in (("cold", False), ("warm", True)):
+        with _Server(1) as server:
+            with ServiceClient("127.0.0.1", server.service.port) as client:
+                kwargs = dict(
+                    solver="ga",
+                    epsilon=1.2,
+                    n_realizations=WARM_N_REALIZATIONS,
+                    ga=WARM_GA_OVERRIDES,
+                    warm_start=warm,
+                )
+                # First pass populates the warm-start store (warm mode only).
+                for payload in payloads:
+                    client.solve(payload, seed=SEED, **kwargs)
+                # Repeat pass: same instances, new seed — a result-cache
+                # miss, so the GA actually re-runs.
+                generations = []
+                seeded = 0
+                t0 = time.perf_counter()
+                for payload in payloads:
+                    response = client.solve(payload, seed=SEED + 1, **kwargs)
+                    generations.append(int(response["ga_generations"]))
+                    seeded += 1 if response.get("warm_seeds") else 0
+                elapsed = time.perf_counter() - t0
+                status = client.status()
+        out[mode] = {
+            "n_requests": len(payloads),
+            "repeat_seconds": round(elapsed, 3),
+            "generations": generations,
+            "mean_generations": round(float(np.mean(generations)), 2),
+            "warm_seeded_requests": seeded,
+            "warm_start_hits": status["requests"].get("warm_start_hits", 0),
+            "warm_start_misses": status["requests"].get("warm_start_misses", 0),
+            "store": status.get("warm_start", {}),
+        }
+    cold, warm = out["cold"]["mean_generations"], out["warm"]["mean_generations"]
+    if cold > 0:
+        out["generations_saved_pct"] = round(100.0 * (cold - warm) / cold, 1)
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,8 +242,20 @@ def main(argv: list[str] | None = None) -> int:
                 f"p50 {row['p50_ms']:8.2f} ms  p99 {row['p99_ms']:8.2f} ms"
             )
 
+    warm = bench_warm_start()
+    for mode in ("cold", "warm"):
+        row = warm[mode]
+        print(
+            f"warm-start {mode:4s}: mean {row['mean_generations']:6.1f} generations  "
+            f"({row['warm_seeded_requests']}/{row['n_requests']} seeded, "
+            f"{row['repeat_seconds']:.2f} s repeat pass)"
+        )
+    if "generations_saved_pct" in warm:
+        print(f"warm-start saves {warm['generations_saved_pct']}% generations on repeat traffic")
+
     record = {
         "service": tiers,
+        "warm_start": warm,
         "meta": {
             "python": platform.python_version(),
             "numpy": np.__version__,

@@ -386,6 +386,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="override GAParams.population_size for this request",
     )
     submit.add_argument(
+        "--warm-start",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="allow the server to seed a GA solve from previously solved "
+        "near-match problems (default: on; --no-warm-start disables)",
+    )
+    submit.add_argument(
         "--retry-s",
         type=float,
         default=5.0,
@@ -703,6 +710,7 @@ def _run_submit(args: argparse.Namespace) -> str:
                 n_realizations=args.realizations,
                 deadline_s=args.deadline,
                 ga=ga or None,
+                warm_start=args.warm_start,
             )
     if args.json or args.op in ("status", "shutdown"):
         return json.dumps(response, indent=1)
@@ -713,6 +721,7 @@ def _run_submit(args: argparse.Namespace) -> str:
             ("cached", response["cached"]),
             ("coalesced", response["coalesced"]),
             ("degraded", response["degraded"]),
+            ("warm-started", bool(response.get("warm_seeds"))),
         ]
         if on
     ]

@@ -86,6 +86,10 @@ class RobustScheduler:
         (``Np=20, pc=0.9, pm=0.1``, 1000 iterations / 100 stagnation).
     rng:
         Seed or generator driving the GA.
+    warm_start:
+        Optional chromosomes seeding the GA's initial population (see
+        :class:`~repro.ga.engine.GeneticScheduler`); the solve stays
+        deterministic in ``(problem, params, rng, warm_start)``.
     """
 
     name = "robust-ga"
@@ -95,19 +99,24 @@ class RobustScheduler:
         epsilon: float = 1.0,
         params: GAParams | None = None,
         rng: np.random.Generator | int | None = None,
+        *,
+        warm_start=None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError(f"epsilon must be positive, got {epsilon}")
         self.epsilon = float(epsilon)
         self.params = params or GAParams()
         self._rng = as_generator(rng)
+        self.warm_start = warm_start
 
     def solve(self, problem: SchedulingProblem) -> RobustResult:
         """Run the full pipeline on *problem*."""
         heft_schedule = HeftScheduler().schedule(problem)
         m_heft = expected_makespan(heft_schedule)
         fitness = EpsilonConstraintFitness(self.epsilon, m_heft)
-        engine = GeneticScheduler(fitness, self.params, self._rng)
+        engine = GeneticScheduler(
+            fitness, self.params, self._rng, warm_start=self.warm_start
+        )
         ga_result = engine.run(problem)
         return RobustResult(
             schedule=ga_result.schedule,

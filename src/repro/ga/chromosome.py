@@ -21,7 +21,12 @@ from repro.graph.topology import is_topological_order, random_topological_order
 from repro.schedule.schedule import Schedule
 from repro.utils.rng import as_generator
 
-__all__ = ["Chromosome", "random_chromosome", "heft_chromosome"]
+__all__ = [
+    "Chromosome",
+    "random_chromosome",
+    "heft_chromosome",
+    "repair_chromosome",
+]
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,68 @@ def random_chromosome(
     order = random_topological_order(problem.graph, gen)
     proc_of = gen.integers(problem.m, size=problem.n)
     return Chromosome(order=order, proc_of=proc_of)
+
+
+def repair_chromosome(
+    problem: SchedulingProblem,
+    order: np.ndarray,
+    proc_of: np.ndarray,
+) -> Chromosome:
+    """Coerce an ``(order, proc_of)`` pair into a legal chromosome.
+
+    The warm-start layer transfers chromosomes between structurally
+    *similar* problems (same task/processor counts, near-match features),
+    whose precedence constraints may disagree with the stored order.  The
+    repair is a priority-guided Kahn walk: among the ready tasks, always
+    emit the one appearing earliest in the stored order.  When the stored
+    order already is a valid topological order of *this* problem's graph,
+    the walk reproduces it exactly (every prefix of a topological order is
+    emitted before its suffix becomes ready); otherwise it yields the
+    closest precedence-respecting reordering under that greedy rule.
+    Processor indices are folded into range modulo ``m``.
+
+    Raises
+    ------
+    ValueError
+        If *order* is not a permutation of ``0..n-1`` or the array lengths
+        don't match the problem.
+    """
+    import heapq
+
+    n, m = problem.n, problem.m
+    order = np.asarray(order, dtype=np.int64)
+    proc_of = np.asarray(proc_of, dtype=np.int64)
+    if order.shape != (n,) or proc_of.shape != (n,):
+        raise ValueError(
+            f"order and proc_of must have shape ({n},), got "
+            f"{order.shape} and {proc_of.shape}"
+        )
+    if np.any(np.sort(order) != np.arange(n)):
+        raise ValueError("order must be a permutation of 0..n-1")
+
+    graph = problem.graph
+    if is_topological_order(graph, order):
+        return Chromosome(order=order, proc_of=proc_of % m)
+
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n, dtype=np.int64)
+    indeg = np.bincount(graph.edge_dst, minlength=n).tolist()
+    succ: list[list[int]] = [[] for _ in range(n)]
+    for s, d in zip(graph.edge_src.tolist(), graph.edge_dst.tolist()):
+        succ[s].append(d)
+    ready = [(int(pos[v]), v) for v in range(n) if indeg[v] == 0]
+    heapq.heapify(ready)
+    repaired: list[int] = []
+    while ready:
+        _, v = heapq.heappop(ready)
+        repaired.append(v)
+        for w in succ[v]:
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                heapq.heappush(ready, (int(pos[w]), w))
+    return Chromosome(
+        order=np.asarray(repaired, dtype=np.int64), proc_of=proc_of % m
+    )
 
 
 def heft_chromosome(problem: SchedulingProblem, schedule: Schedule | None = None) -> Chromosome:

@@ -27,10 +27,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.problem import SchedulingProblem
-from repro.ga.chromosome import Chromosome, heft_chromosome, random_chromosome
+from repro.ga.chromosome import (
+    Chromosome,
+    heft_chromosome,
+    random_chromosome,
+    repair_chromosome,
+)
 from repro.ga.crossover import single_point_crossover
 from repro.ga.fitness import FitnessPolicy, Individual
 from repro.ga.mutation import mutate
+from repro.ga.popeval import evaluate_population
 from repro.ga.selection import binary_tournament
 from repro.obs import runtime as obs
 from repro.schedule.evaluation import evaluate
@@ -166,6 +172,16 @@ class GeneticScheduler:
         topological-window mutation.  Signatures:
         ``crossover_fn(parent_a, parent_b, rng) -> (child_a, child_b)`` and
         ``mutation_fn(problem, chromosome, rng) -> chromosome``.
+    warm_start:
+        Optional chromosomes injected into the initial population (after
+        the HEFT seed, before the random fill) — typically the best
+        solutions of previously solved, structurally similar problems
+        (see :mod:`repro.service.warmstart`).  Each seed is repaired
+        against the problem's precedence constraints
+        (:func:`~repro.ga.chromosome.repair_chromosome`), deduplicated,
+        and capped at the population size.  Seeding changes only the
+        starting point; evaluation consumes no randomness, so a run
+        remains fully determined by ``(problem, params, rng, warm_start)``.
     """
 
     name = "ga"
@@ -179,6 +195,7 @@ class GeneticScheduler:
         duration_matrix: np.ndarray | None = None,
         crossover_fn=None,
         mutation_fn=None,
+        warm_start: list[Chromosome] | None = None,
     ) -> None:
         self.fitness = fitness
         self.params = params or GAParams()
@@ -190,6 +207,7 @@ class GeneticScheduler:
         )
         self.crossover_fn = crossover_fn or single_point_crossover
         self.mutation_fn = mutation_fn or mutate
+        self.warm_start = list(warm_start) if warm_start else []
 
     # ------------------------------------------------------------------ #
     # Evaluation
@@ -225,6 +243,48 @@ class GeneticScheduler:
         cache[key] = ind
         return ind
 
+    def _evaluate_batch(
+        self,
+        problem: SchedulingProblem,
+        chromosomes: list[Chromosome],
+        cache: dict,
+    ) -> list[Individual]:
+        """Evaluate a whole generation in one population-kernel dispatch.
+
+        Cache hits (and within-batch duplicates) reuse their Individual;
+        only the distinct misses reach :func:`evaluate_population`.  The
+        metrics are bit-identical to :meth:`_evaluate`'s per-individual
+        route, so GA trajectories do not depend on which path ran.  The
+        backward (slack) pass always runs here: it is in-kernel and cheap,
+        and the history records the incumbent's slack every generation.
+        """
+        keys = [c.key() for c in chromosomes]
+        miss_keys: list[bytes] = []
+        misses: list[Chromosome] = []
+        seen: set[bytes] = set()
+        for key, c in zip(keys, chromosomes):
+            if key not in cache and key not in seen:
+                seen.add(key)
+                miss_keys.append(key)
+                misses.append(c)
+        if misses:
+            pe = evaluate_population(
+                problem,
+                misses,
+                need_slack=True,
+                duration_matrix=self.duration_matrix,
+            )
+            avg_slacks = pe.avg_slacks
+            for i, key in enumerate(miss_keys):
+                cache[key] = Individual(
+                    chromosome=misses[i],
+                    schedule=None,
+                    makespan=pe.makespans[i],
+                    avg_slack=avg_slacks[i],
+                    problem=problem,
+                )
+        return [cache[key] for key in keys]
+
     # ------------------------------------------------------------------ #
     # Population initialisation (Sec. 4.2.2)
     # ------------------------------------------------------------------ #
@@ -238,6 +298,17 @@ class GeneticScheduler:
             seed = heft_chromosome(problem)
             population.append(seed)
             seen.add(seed.key())
+
+        # Warm-start seeds: repaired against this problem's precedence
+        # constraints, deduplicated, capped at Np.
+        for cand in self.warm_start:
+            if len(population) >= params.population_size:
+                break
+            repaired = repair_chromosome(problem, cand.order, cand.proc_of)
+            if repaired.key() in seen:
+                continue
+            seen.add(repaired.key())
+            population.append(repaired)
 
         budget = params.init_retry_factor * params.population_size
         while len(population) < params.population_size and budget > 0:
@@ -321,7 +392,7 @@ class GeneticScheduler:
         )
         with run_span:
             population = self._initial_population(problem)
-            individuals = [self._evaluate(problem, c, cache) for c in population]
+            individuals = self._evaluate_batch(problem, population, cache)
             scores = self.fitness.scores(individuals)
 
             best_idx = int(np.argmax(scores))
@@ -342,9 +413,9 @@ class GeneticScheduler:
                     intermediate = [population[i] for i in selected_idx]
                     children = self._next_generation(problem, intermediate)
 
-                    new_individuals = [
-                        self._evaluate(problem, c, cache) for c in children
-                    ]
+                    new_individuals = self._evaluate_batch(
+                        problem, children, cache
+                    )
                     new_scores = self.fitness.scores(new_individuals)
 
                     # Elitism: worst of the new generation is replaced by the

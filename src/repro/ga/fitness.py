@@ -38,32 +38,58 @@ __all__ = [
 
 
 class Individual:
-    """A chromosome with its decoded schedule and static metrics.
+    """A chromosome with its (possibly deferred) schedule and static metrics.
 
     ``makespan`` and ``avg_slack`` are computed under the engine's duration
     view (expected durations by default; a quantile view in the extension).
-    ``avg_slack`` may be deferred: when constructed with
-    ``avg_slack=None`` and an ``evaluation``, the backward (bottom-level)
-    kernel pass runs only if slack is actually read — makespan-only
-    fitness policies (``uses_slack = False``) never pay for it.
+    Two fields may be deferred:
+
+    * ``avg_slack``: when constructed with ``avg_slack=None`` and an
+      ``evaluation``, the backward (bottom-level) kernel pass runs only if
+      slack is actually read — makespan-only fitness policies
+      (``uses_slack = False``) never pay for it;
+    * ``schedule``: the population kernel (:mod:`repro.ga.popeval`)
+      computes metrics without materialising schedules, so individuals it
+      produces carry ``schedule=None`` plus a ``problem``; the decode runs
+      on first access (only the returned best typically needs it).
     """
 
-    __slots__ = ("chromosome", "schedule", "makespan", "_avg_slack", "_evaluation")
+    __slots__ = (
+        "chromosome",
+        "_schedule",
+        "makespan",
+        "_avg_slack",
+        "_evaluation",
+        "_problem",
+    )
 
     def __init__(
         self,
         chromosome: Chromosome,
-        schedule: Schedule,
+        schedule: Schedule | None,
         makespan: float,
         avg_slack: float | None = None,
         *,
         evaluation=None,
+        problem: SchedulingProblem | None = None,
     ) -> None:
         self.chromosome = chromosome
-        self.schedule = schedule
+        self._schedule = schedule
         self.makespan = float(makespan)
         self._avg_slack = None if avg_slack is None else float(avg_slack)
         self._evaluation = evaluation
+        self._problem = problem
+
+    @property
+    def schedule(self) -> Schedule:
+        """The decoded schedule; runs the deferred decode if needed."""
+        if self._schedule is None:
+            if self._problem is None:
+                raise AttributeError(
+                    "schedule was deferred but no problem is attached"
+                )
+            self._schedule = self.chromosome.decode(self._problem)
+        return self._schedule
 
     @property
     def avg_slack(self) -> float:

@@ -6,6 +6,7 @@ Graphviz.
 """
 
 from repro.io.dot import disjunctive_to_dot, graph_to_dot
+from repro.io.features import N_FEATURES, feature_distance, problem_features
 from repro.io.json_io import (
     load_problem,
     problem_fingerprint,
@@ -21,6 +22,9 @@ from repro.io.json_io import (
 )
 
 __all__ = [
+    "N_FEATURES",
+    "problem_features",
+    "feature_distance",
     "problem_fingerprint",
     "problem_to_dict",
     "problem_from_dict",

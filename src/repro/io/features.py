@@ -1,0 +1,102 @@
+"""Structural fingerprinting: compact feature vectors for problem similarity.
+
+The exact :func:`~repro.io.json_io.problem_fingerprint` identifies an
+instance bit-for-bit — perfect for result caching, useless for "have I
+seen something *like* this?".  This module maps a problem onto a small
+fixed-length feature vector capturing the structure that determines which
+schedules work well on it:
+
+* scale: task count, processor count, edge count (log-compressed);
+* shape: edge density, relative depth, an 8-bin histogram of the task
+  distribution over topological levels;
+* regime: CCR (communication-to-computation ratio), processor
+  heterogeneity (mean per-task COV of expected times), mean uncertainty
+  level.
+
+Two problems drawn from the same generator configuration land close under
+the Euclidean :func:`feature_distance`; the warm-start store
+(:mod:`repro.service.warmstart`) uses this to transfer good chromosomes
+between near-match instances.  All components are dimensionless or
+log-compressed so no single scale dominates the distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.analysis import ArrayDag
+
+__all__ = ["N_FEATURES", "problem_features", "feature_distance"]
+
+#: Length of the vector :func:`problem_features` returns.
+N_FEATURES = 16
+
+#: Bins of the level-occupancy histogram.
+_LEVEL_BINS = 8
+
+
+def problem_features(problem: SchedulingProblem) -> np.ndarray:
+    """The ``(N_FEATURES,)`` structural feature vector of *problem*."""
+    graph = problem.graph
+    n, m = problem.n, problem.m
+    n_edges = int(graph.edge_src.shape[0])
+
+    dag = ArrayDag.from_taskgraph(graph)
+    depth = dag.depth
+
+    # Level-occupancy histogram: fraction of tasks in each depth octile.
+    hist = np.zeros(_LEVEL_BINS, dtype=np.float64)
+    if n and depth:
+        octile = (dag.level * _LEVEL_BINS) // max(depth, 1)
+        np.clip(octile, 0, _LEVEL_BINS - 1, out=octile)
+        hist = np.bincount(octile, minlength=_LEVEL_BINS)[:_LEVEL_BINS] / n
+
+    expected = problem.uncertainty.expected_times
+    mean_comp = float(expected.mean()) if expected.size else 0.0
+
+    # CCR: average communication time over average computation time.
+    mean_comm = 0.0
+    if n_edges:
+        mean_comm = float(graph.edge_data.mean()) * float(
+            problem.platform.mean_inverse_rate
+        )
+    ccr = mean_comm / mean_comp if mean_comp > 0 else 0.0
+
+    # Heterogeneity: mean per-task COV of expected times across processors.
+    heterogeneity = 0.0
+    if expected.size and m > 1:
+        row_mean = expected.mean(axis=1)
+        row_std = expected.std(axis=1)
+        safe = row_mean > 0
+        if np.any(safe):
+            heterogeneity = float((row_std[safe] / row_mean[safe]).mean())
+
+    density = 0.0
+    if n > 1:
+        density = n_edges / (n * (n - 1) / 2.0)
+
+    mean_ul = float(problem.uncertainty.ul.mean()) if n else 1.0
+
+    features = np.empty(N_FEATURES, dtype=np.float64)
+    features[0] = np.log1p(n)
+    features[1] = np.log1p(m)
+    features[2] = np.log1p(n_edges)
+    features[3] = density
+    features[4] = depth / n if n else 0.0
+    features[5 : 5 + _LEVEL_BINS] = hist
+    features[13] = np.log1p(ccr)
+    features[14] = heterogeneity
+    features[15] = np.log1p(mean_ul - 1.0)
+    return features
+
+
+def feature_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two feature vectors."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(
+            f"feature vectors must have equal shape, got {a.shape} and {b.shape}"
+        )
+    return float(np.sqrt(np.sum((a - b) ** 2)))

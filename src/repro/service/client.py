@@ -118,6 +118,7 @@ class ServiceClient:
         n_realizations: int = 500,
         deadline_s: float | None = None,
         ga: dict[str, int] | None = None,
+        warm_start: bool = True,
         request_id: Any = None,
         check: bool = True,
     ) -> dict[str, Any]:
@@ -125,6 +126,8 @@ class ServiceClient:
 
         *problem* may be a :class:`SchedulingProblem` (serialized here)
         or an already-encoded :func:`repro.io.problem_to_dict` payload.
+        ``warm_start=False`` forbids the server from seeding a GA solve
+        with chromosomes of previously solved near-match problems.
         With ``check`` (the default), an error response raises
         :class:`ServiceError` instead of being returned.
         """
@@ -140,6 +143,7 @@ class ServiceClient:
             "epsilon": epsilon,
             "seed": seed,
             "n_realizations": n_realizations,
+            "warm_start": warm_start,
         }
         if deadline_s is not None:
             message["deadline_s"] = deadline_s

@@ -15,7 +15,11 @@ Requests are JSON objects with an ``op`` field:
 ``solve``
     ``problem`` (a :func:`repro.io.problem_to_dict` payload), ``solver``
     (one of :data:`SOLVERS`), ``epsilon``, ``seed``, ``n_realizations``,
-    optional ``deadline_s`` and ``ga`` parameter overrides.
+    optional ``deadline_s``, ``ga`` parameter overrides, and
+    ``warm_start`` (bool, default true; additive in protocol 1) — whether
+    a GA solve may be seeded from the server's warm-start store.  The
+    seeds a request actually received are part of its cache identity, so
+    warm-started responses remain reproducible from their payload.
 ``status``
     Server counters: cache, admission, queue depths, uptime.
 ``ping``
@@ -198,6 +202,11 @@ def normalize_request(message: dict[str, Any]) -> dict[str, Any]:
         raise ProtocolError(
             "bad-request", f"deadline_s must be > 0, got {deadline_s}"
         )
+    warm_start = message.get("warm_start", True)
+    if not isinstance(warm_start, bool):
+        raise ProtocolError(
+            "bad-request", f"warm_start must be a boolean, got {warm_start!r}"
+        )
     ga = message.get("ga") or {}
     if not isinstance(ga, dict):
         raise ProtocolError("bad-request", "'ga' must be an object of overrides")
@@ -221,6 +230,7 @@ def normalize_request(message: dict[str, Any]) -> dict[str, Any]:
         seed=seed,
         n_realizations=n_realizations,
         deadline_s=deadline_s,
+        warm_start=warm_start,
         ga={k: ga[k] for k in sorted(ga)},
     )
     return request

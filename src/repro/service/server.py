@@ -35,10 +35,12 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.io.features import problem_features
 from repro.io.json_io import problem_fingerprint, problem_from_dict
 from repro.obs import runtime as obs
 from repro.service.admission import AdmissionController
 from repro.service.cache import ResultCache, cache_key
+from repro.service.warmstart import WarmStartStore
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -204,6 +206,7 @@ class SchedulerService:
         self.admission = AdmissionController(
             self.config.ga_queue_limit, self.config.workers
         )
+        self.warm_store = WarmStartStore()
         self.port: int | None = None
         self.counters: dict[str, int] = {
             "requests": 0,
@@ -213,6 +216,8 @@ class SchedulerService:
             "errors": 0,
             "degraded": 0,
             "coalesced": 0,
+            "warm_start_hits": 0,
+            "warm_start_misses": 0,
         }
         self._inflight: dict[str, asyncio.Future] = {}
         self._ga_inflight = 0
@@ -388,9 +393,8 @@ class SchedulerService:
         self.counters["solve"] += 1
         t0 = time.perf_counter()
         try:
-            fingerprint = problem_fingerprint(
-                problem_from_dict(request["problem"])
-            )
+            problem = problem_from_dict(request["problem"])
+            fingerprint = problem_fingerprint(problem)
         except (ValueError, KeyError, TypeError) as exc:
             raise ProtocolError(
                 "bad-problem", f"problem payload rejected: {exc}"
@@ -413,12 +417,46 @@ class SchedulerService:
             request = dict(request, solver="heft")
         span.set(solver=request["solver"], tier=decision.tier)
 
+        # Warm starts: seed a GA run from near-match solved problems.
+        # The seeds become part of the request payload *before* the cache
+        # key is formed, so identical (problem, params, seeds) requests
+        # share one entry and the response stays reproducible.
+        features = None
+        warm_seeds_count = 0
+        if request["solver"] == "ga" and request.get("warm_start", True):
+            features = problem_features(problem)
+            seeds = self.warm_store.suggest(problem.n, problem.m, features)
+            if seeds:
+                self.counters["warm_start_hits"] += 1
+                obs.add("service.warm_start_hit")
+                request = dict(request, warm_seeds=seeds)
+                warm_seeds_count = len(seeds)
+            else:
+                self.counters["warm_start_misses"] += 1
+                obs.add("service.warm_start_miss")
+
         key = cache_key(
             fingerprint, request["solver"], **solve_params(request)
         )
         core, cached, coalesced = await self._compute(
             key, request, decision.tier
         )
+
+        # Feed the store with the run's best chromosome so later
+        # near-match requests start from it (cache hits re-record to
+        # refresh the entry's eviction age).
+        chromosome = core.get("ga_chromosome")
+        if chromosome is not None:
+            if features is None:
+                features = problem_features(problem)
+            self.warm_store.record(
+                problem.n,
+                problem.m,
+                fingerprint,
+                features,
+                chromosome["order"],
+                chromosome["proc_of"],
+            )
         span.set(cached=cached, degraded=degraded)
         if cached:
             obs.add("service.cache_hit")
@@ -428,6 +466,7 @@ class SchedulerService:
         response["cached"] = cached
         response["coalesced"] = coalesced
         response["degraded"] = degraded
+        response["warm_seeds"] = warm_seeds_count
         if degraded:
             response["requested_solver"] = "ga"
             response["degraded_reason"] = decision.reason
@@ -502,6 +541,7 @@ class SchedulerService:
             requests=dict(self.counters),
             cache=self.cache.stats(),
             admission=self.admission.stats(),
+            warm_start=self.warm_store.stats(),
             ga={
                 "inflight": self._ga_inflight,
                 "queue_depth": queue_depth,

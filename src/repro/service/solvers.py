@@ -8,7 +8,10 @@ with the same inputs:
 
 * heuristics (``heft``/``cpop``/``peft``/``minmin``):
   ``Scheduler().schedule(problem)``;
-* ``ga``: ``RobustScheduler(epsilon, params, rng=seed).solve(problem)``;
+* ``ga``: ``RobustScheduler(epsilon, params, rng=seed,
+  warm_start=seeds).solve(problem)`` — the warm-start seeds the server
+  injected (if any) ride in the payload's ``warm_seeds`` field, so the
+  run stays a pure function of the payload;
 * robustness assessment (always):
   ``assess_robustness(schedule, n_realizations, rng=seed + 1)``.
 
@@ -22,6 +25,8 @@ and results stay identical to the inline path.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any
 
 from repro.ga.engine import GAParams
@@ -76,6 +81,17 @@ def solve_params(request: dict[str, Any]) -> dict[str, Any]:
     if solver not in FAST_SOLVERS:
         params["epsilon"] = request["epsilon"]
         params["ga"] = request.get("ga") or {}
+        # Warm-start seeds change the GA trajectory, so they are part of
+        # the result's identity.  Digesting the seeds (rather than an
+        # on/off flag) keys the cache on what actually seeded the run:
+        # requests resolved without seeds — warm_start=false, or an empty
+        # store — share one entry, and the key layout predating warm
+        # starts is preserved for them.
+        seeds = request.get("warm_seeds")
+        if seeds:
+            params["warm"] = hashlib.sha256(
+                json.dumps(seeds, separators=(",", ":")).encode()
+            ).hexdigest()[:16]
     return params
 
 
@@ -101,16 +117,30 @@ def execute_payload(request: dict[str, Any]) -> dict[str, Any]:
         schedule = heuristic_for(solver).schedule(problem)
     else:
         from repro.core.robust import RobustScheduler
+        from repro.ga.chromosome import Chromosome
 
+        warm_start = [
+            Chromosome(order=s["order"], proc_of=s["proc_of"])
+            for s in request.get("warm_seeds") or []
+        ]
         robust = RobustScheduler(
             epsilon=request["epsilon"],
             params=build_ga_params(request.get("ga")),
             rng=seed,
+            warm_start=warm_start or None,
         ).solve(problem)
         schedule = robust.schedule
         result["epsilon"] = request["epsilon"]
         result["m_heft"] = robust.m_heft
         result["ga_generations"] = robust.ga_result.generations
+        result["warm_seeds_used"] = len(warm_start)
+        # The best chromosome rides along so the server can feed its
+        # warm-start store without re-deriving an order from the schedule.
+        best = robust.ga_result.best.chromosome
+        result["ga_chromosome"] = {
+            "order": best.order.tolist(),
+            "proc_of": best.proc_of.tolist(),
+        }
     report = assess_robustness(schedule, request["n_realizations"], rng=seed + 1)
     result["schedule"] = schedule_to_dict(schedule)
     result["report"] = report_to_dict(report)

@@ -1,0 +1,184 @@
+"""Similarity-indexed warm-start store for the scheduler service.
+
+Repeat traffic is the service's normal regime: the same pipeline re-plans
+as estimates drift, so consecutive problems are structurally near-identical
+even when their exact fingerprints differ.  The store exploits that: after
+every GA solve it records the best chromosome under the problem's
+structural feature vector (:func:`repro.io.problem_features`); before a GA
+solve it suggests the chromosomes of the nearest previously solved
+problems, which seed the new run's initial population
+(``GeneticScheduler(warm_start=...)``) and cut generations-to-converge.
+
+Matching is exact on ``(n, m)`` — chromosome arrays only transfer between
+problems with the same task and processor counts — and nearest-neighbour
+on the feature vector within the bucket, gated by ``max_distance``.
+Suggested chromosomes may still violate the new problem's precedence
+constraints; the GA repairs them on injection
+(:func:`repro.ga.chromosome.repair_chromosome`), so a suggestion can never
+corrupt a run, only start it closer to (or occasionally further from) the
+optimum.
+
+Seeds become part of the request's cache identity (see
+:func:`repro.service.solvers.solve_params`): a warm-started result is
+still bit-reproducible from its request payload alone.
+
+The store is bounded (per-bucket and globally, FIFO eviction) and
+thread-safe; entries are plain JSON-ready lists so suggestions can ride a
+request payload into cluster worker processes unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+from repro.io.features import feature_distance
+
+__all__ = ["WarmStartStore"]
+
+
+class WarmStartStore:
+    """Best-chromosome memory, indexed by structural similarity.
+
+    Parameters
+    ----------
+    max_per_bucket:
+        Entries kept per ``(n, m)`` bucket; the oldest is evicted first.
+    max_entries:
+        Global entry budget across all buckets.
+    max_distance:
+        Feature-space radius beyond which a stored problem is not
+        considered a near match.
+    """
+
+    def __init__(
+        self,
+        max_per_bucket: int = 32,
+        max_entries: int = 512,
+        max_distance: float = 2.0,
+    ) -> None:
+        if max_per_bucket < 1:
+            raise ValueError("max_per_bucket must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_distance <= 0:
+            raise ValueError("max_distance must be positive")
+        self.max_per_bucket = int(max_per_bucket)
+        self.max_entries = int(max_entries)
+        self.max_distance = float(max_distance)
+        # bucket -> fingerprint -> entry; OrderedDict gives FIFO eviction.
+        self._buckets: dict[tuple[int, int], OrderedDict[str, dict]] = {}
+        self._n_entries = 0
+        self._recorded = 0
+        self._evicted = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def record(
+        self,
+        n: int,
+        m: int,
+        fingerprint: str,
+        features: np.ndarray,
+        order: list[int],
+        proc_of: list[int],
+    ) -> None:
+        """Remember the best chromosome found for one solved problem.
+
+        Re-recording the same fingerprint replaces the stored chromosome
+        (a later solve may have found a better one) and refreshes its
+        eviction age.
+        """
+        entry = {
+            "features": np.asarray(features, dtype=np.float64),
+            "order": [int(v) for v in order],
+            "proc_of": [int(v) for v in proc_of],
+        }
+        key = (int(n), int(m))
+        with self._lock:
+            bucket = self._buckets.setdefault(key, OrderedDict())
+            if fingerprint in bucket:
+                bucket.pop(fingerprint)
+                self._n_entries -= 1
+            bucket[fingerprint] = entry
+            self._n_entries += 1
+            self._recorded += 1
+            while len(bucket) > self.max_per_bucket:
+                bucket.popitem(last=False)
+                self._n_entries -= 1
+                self._evicted += 1
+            while self._n_entries > self.max_entries:
+                # Evict the oldest entry of the largest bucket.
+                victim = max(self._buckets.values(), key=len)
+                victim.popitem(last=False)
+                self._n_entries -= 1
+                self._evicted += 1
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def suggest(
+        self,
+        n: int,
+        m: int,
+        features: np.ndarray,
+        k: int = 2,
+    ) -> list[dict[str, Any]]:
+        """The ``k`` nearest stored chromosomes for a new problem.
+
+        Returns JSON-ready ``{"order": [...], "proc_of": [...]}`` dicts,
+        nearest first; empty when nothing within ``max_distance`` is
+        stored for this ``(n, m)`` shape.  A previous solve of the *same*
+        problem (same fingerprint) is a legal — and the best possible —
+        suggestion: re-solves with different seeds or GA parameters start
+        from the known optimum.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        with self._lock:
+            bucket = self._buckets.get((int(n), int(m)))
+            if not bucket:
+                return []
+            scored = sorted(
+                (
+                    (feature_distance(features, e["features"]), fp)
+                    for fp, e in bucket.items()
+                ),
+                key=lambda t: t[0],
+            )
+            out = []
+            for dist, fp in scored[: max(k, 0)]:
+                if dist > self.max_distance:
+                    break
+                entry = bucket[fp]
+                out.append(
+                    {
+                        "order": list(entry["order"]),
+                        "proc_of": list(entry["proc_of"]),
+                    }
+                )
+            return out
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict[str, int]:
+        """Counters for the service ``status`` response."""
+        with self._lock:
+            return {
+                "entries": self._n_entries,
+                "buckets": len(self._buckets),
+                "recorded": self._recorded,
+                "evicted": self._evicted,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._n_entries

@@ -1,0 +1,208 @@
+"""Property tests: the population GA kernel is bit-exact.
+
+:func:`repro.ga.popeval.evaluate_population` promises results
+*bit-identical* to the classic per-individual route
+(``Chromosome.decode`` → :func:`repro.schedule.evaluation.evaluate`),
+on both its backends (native C kernel and numpy fallback).  These
+tests pin that promise with ``array_equal`` — no tolerances — across
+arbitrary DAG shapes, including:
+
+* populations of random chromosomes over hypothesis-generated problems;
+* the numpy fallback called directly, so the equivalence holds even on
+  hosts where the native kernel compiled (and vice versa);
+* ``+inf`` durations (infeasible placements): ``inf`` makespans and
+  the NaN slack entries that ``inf - inf`` produces must agree across
+  backends bit-for-bit (``equal_nan``);
+* the ``need_slack=False`` half-work path;
+* the ``REPRO_NATIVE=0`` environment opt-out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ga.chromosome import Chromosome, random_chromosome
+from repro.ga.popeval import _eval_numpy, evaluate_population
+from repro.graph import _native
+from repro.schedule.evaluation import evaluate
+
+from tests.property.strategies import problems
+
+
+def _population(problem, size: int, seed: int) -> list[Chromosome]:
+    rng = np.random.default_rng(seed)
+    return [random_chromosome(problem, rng) for _ in range(size)]
+
+
+def _reference(problem, chromosomes):
+    """The classic per-individual route: decode + evaluate."""
+    makespans = np.empty(len(chromosomes), dtype=np.float64)
+    slacks = np.empty((len(chromosomes), problem.n), dtype=np.float64)
+    avg = np.empty(len(chromosomes), dtype=np.float64)
+    for i, c in enumerate(chromosomes):
+        ev = evaluate(c.decode(problem))
+        makespans[i] = ev.makespan
+        slacks[i] = ev.slacks
+        avg[i] = ev.avg_slack
+    return makespans, slacks, avg
+
+
+def _fallback(problem, chromosomes, dur=None, need_slack=True):
+    """The numpy backend, called directly regardless of native availability."""
+    n = problem.n
+    orders = np.stack([c.order for c in chromosomes])
+    procs = np.stack([c.proc_of for c in chromosomes])
+    if dur is None:
+        dur = problem.uncertainty.expected_times
+    makespans = np.empty(len(chromosomes), dtype=np.float64)
+    slacks = np.empty((len(chromosomes), n), dtype=np.float64) if need_slack else None
+    _eval_numpy(problem, orders, procs, dur, need_slack, makespans, slacks)
+    return makespans, slacks
+
+
+@settings(max_examples=100, deadline=None)
+@given(problem=problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_population_matches_per_individual(problem, seed):
+    """Active backend vs decode+evaluate: every metric bit-identical."""
+    chromosomes = _population(problem, 8, seed)
+    pe = evaluate_population(problem, chromosomes)
+    ref_ms, ref_slacks, ref_avg = _reference(problem, chromosomes)
+    assert np.array_equal(pe.makespans, ref_ms)
+    assert np.array_equal(pe.slack_matrix, ref_slacks)
+    assert np.array_equal(pe.avg_slacks, ref_avg)
+
+
+@settings(max_examples=100, deadline=None)
+@given(problem=problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_numpy_fallback_matches_per_individual(problem, seed):
+    """The fallback is bit-exact too, even where the native kernel runs."""
+    chromosomes = _population(problem, 8, seed)
+    ms, slacks = _fallback(problem, chromosomes)
+    ref_ms, ref_slacks, _ = _reference(problem, chromosomes)
+    assert np.array_equal(ms, ref_ms)
+    assert np.array_equal(slacks, ref_slacks)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    problem=problems(max_n=10),
+    seed=st.integers(0, 2**31 - 1),
+    inf_seed=st.integers(0, 2**31 - 1),
+)
+def test_backends_agree_on_inf_durations(problem, seed, inf_seed):
+    """Infeasible placements: ``inf`` makespans, NaN slacks — bitwise equal.
+
+    ``evaluate`` rejects non-finite durations, so the cross-check here is
+    between the two population backends (the fallback *is* the scalar
+    reference kernel per individual).  Any individual touching an ``inf``
+    duration must report an ``inf`` makespan on both.
+    """
+    chromosomes = _population(problem, 6, seed)
+    rng = np.random.default_rng(inf_seed)
+    dur = problem.uncertainty.expected_times.copy()
+    mask = rng.random(dur.shape) < 0.3
+    dur[mask] = np.inf
+
+    pe = evaluate_population(problem, chromosomes, duration_matrix=dur)
+    fb_ms, fb_slacks = _fallback(problem, chromosomes, dur=dur)
+    assert np.array_equal(pe.makespans, fb_ms)
+    assert np.array_equal(pe.slack_matrix, fb_slacks, equal_nan=True)
+
+    procs = np.stack([c.proc_of for c in chromosomes])
+    touches_inf = mask[np.arange(problem.n), procs].any(axis=1)
+    assert np.array_equal(np.isinf(pe.makespans), touches_inf)
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_need_slack_false_skips_backward_pass(problem, seed):
+    """Makespans unchanged; slack genuinely absent, not silently zero."""
+    chromosomes = _population(problem, 6, seed)
+    full = evaluate_population(problem, chromosomes, need_slack=True)
+    half = evaluate_population(problem, chromosomes, need_slack=False)
+    assert np.array_equal(half.makespans, full.makespans)
+    assert half.slack_matrix is None
+    with pytest.raises(AttributeError, match="need_slack"):
+        half.avg_slacks
+
+
+def test_repro_native_opt_out_forces_fallback(monkeypatch):
+    """``REPRO_NATIVE=0`` routes through numpy and stays bit-exact."""
+    from tests.conftest import make_random_problem
+
+    problem = make_random_problem(3, n=20, m=3)
+    chromosomes = _population(problem, 10, seed=4)
+    before = evaluate_population(problem, chromosomes)
+
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    monkeypatch.setattr(_native, "_lib", None)
+    monkeypatch.setattr(_native, "_tried", False)
+    assert _native.get_lib() is None
+    after = evaluate_population(problem, chromosomes)
+
+    assert np.array_equal(after.makespans, before.makespans)
+    assert np.array_equal(after.slack_matrix, before.slack_matrix)
+
+
+def test_empty_population():
+    from tests.conftest import make_random_problem
+
+    problem = make_random_problem(5, n=6, m=2)
+    pe = evaluate_population(problem, [])
+    assert len(pe) == 0
+    assert pe.makespans.shape == (0,)
+    assert pe.slack_matrix.shape == (0, 6)
+
+
+class TestValidation:
+    """Bad populations are rejected before any kernel runs."""
+
+    def _problem(self):
+        from tests.conftest import make_random_problem
+
+        return make_random_problem(6, n=8, m=2)
+
+    def test_rejects_non_permutation(self):
+        problem = self._problem()
+        good = _population(problem, 1, seed=0)[0]
+        bad = Chromosome(order=np.zeros(8, dtype=np.int64), proc_of=good.proc_of)
+        with pytest.raises(ValueError, match="not a permutation"):
+            evaluate_population(problem, [bad])
+
+    def test_rejects_non_topological_order(self):
+        problem = self._problem()
+        good = _population(problem, 1, seed=0)[0]
+        if problem.graph.edge_src.size == 0:
+            pytest.skip("edgeless instance cannot violate precedence")
+        bad = Chromosome(order=good.order[::-1].copy(), proc_of=good.proc_of)
+        with pytest.raises(ValueError, match="not a topological order"):
+            evaluate_population(problem, [bad])
+
+    def test_rejects_out_of_range_processor(self):
+        problem = self._problem()
+        good = _population(problem, 1, seed=0)[0]
+        bad = Chromosome(
+            order=good.order, proc_of=np.full(8, problem.m, dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            evaluate_population(problem, [bad])
+
+    def test_rejects_nan_durations(self):
+        problem = self._problem()
+        pop = _population(problem, 2, seed=0)
+        dur = problem.uncertainty.expected_times.copy()
+        dur[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN rejected"):
+            evaluate_population(problem, pop, duration_matrix=dur)
+
+    def test_rejects_wrong_length_chromosome(self):
+        problem = self._problem()
+        bad = Chromosome(
+            order=np.arange(4, dtype=np.int64),
+            proc_of=np.zeros(4, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="covers 4 tasks"):
+            evaluate_population(problem, [bad])

@@ -30,6 +30,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig4", "--scale", "enormous"])
 
+    def test_submit_warm_start_flag(self):
+        parser = build_parser()
+        assert parser.parse_args(["submit"]).warm_start is True
+        assert parser.parse_args(["submit", "--warm-start"]).warm_start is True
+        assert parser.parse_args(["submit", "--no-warm-start"]).warm_start is False
+
 
 class TestRun:
     def test_solve_output(self):

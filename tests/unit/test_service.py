@@ -160,6 +160,31 @@ class TestResultCache:
         # ...while the GA result depends on it.
         assert solve_params(ga)["epsilon"] == 1.7
 
+    def test_solve_params_warm_seeds_change_ga_identity(self, small_random_problem):
+        ga = _solve_request(small_random_problem, solver="ga")
+        seeds = [{"order": [0, 1, 2], "proc_of": [0, 0, 1]}]
+        cold = solve_params(ga)
+        warm = solve_params(dict(ga, warm_seeds=seeds))
+        # Seeds change the GA trajectory, so they are part of the key...
+        assert "warm" not in cold
+        assert warm.pop("warm")
+        assert warm == cold
+        # ...but the on/off flag alone is not: requests resolved without
+        # seeds share the pre-warm-start key layout.
+        assert solve_params(dict(ga, warm_start=False)) == cold
+        assert solve_params(dict(ga, warm_seeds=[])) == cold
+
+    def test_warm_start_flag_normalized(self, small_random_problem):
+        request = _solve_request(small_random_problem, solver="ga")
+        assert request["warm_start"] is True
+        off = _solve_request(
+            small_random_problem, solver="ga", warm_start=False
+        )
+        assert off["warm_start"] is False
+        with pytest.raises(ProtocolError) as err:
+            _solve_request(small_random_problem, warm_start="yes")
+        assert err.value.code == "bad-request"
+
 
 class TestAdmissionController:
     def test_fast_tier_always_admitted(self):
