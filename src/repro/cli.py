@@ -11,6 +11,8 @@ Usage::
     python -m repro serve --port 8642 --workers 2   # scheduler service
     python -m repro submit --port 8642 --solver ga --epsilon 1.2
     python -m repro faults --scenario proc-failure  # fault injection
+    python -m repro stream --load 1.5 --policy prune  # streaming workload
+    python -m repro stream --grid --workers 4       # policy x load curves
 
 or via the installed entry point ``repro-sched``.
 """
@@ -286,6 +288,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress output"
     )
 
+    stream = sub.add_parser(
+        "stream",
+        help="run a streaming oversubscribed workload with shedding "
+        "policies (see docs/stream.md)",
+    )
+    stream.add_argument("--seed", type=int, default=0, help="workload seed")
+    stream.add_argument(
+        "--stream-jobs",
+        type=_positive_int,
+        default=40,
+        help="DAG jobs in the arrival stream (default: 40)",
+    )
+    stream.add_argument(
+        "--tasks", type=_positive_int, default=24, help="tasks per job"
+    )
+    stream.add_argument(
+        "--procs",
+        type=_positive_int,
+        default=4,
+        help="shared-platform processors",
+    )
+    stream.add_argument(
+        "--ul", type=float, default=2.0, help="mean uncertainty level per job"
+    )
+    stream.add_argument(
+        "--load",
+        type=float,
+        default=1.5,
+        help="offered load relative to capacity; >1 oversubscribes "
+        "(default: 1.5)",
+    )
+    stream.add_argument(
+        "--arrival",
+        choices=("poisson", "mmpp"),
+        default="poisson",
+        help="arrival process (mmpp = two-state bursty)",
+    )
+    stream.add_argument(
+        "--burstiness",
+        type=float,
+        default=4.0,
+        help="mmpp fast/slow rate ratio (default: 4)",
+    )
+    stream.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=3.0,
+        help="deadline = arrival + factor x isolated expected makespan",
+    )
+    stream.add_argument(
+        "--policy",
+        choices=("none", "prune", "drop"),
+        default="none",
+        help="shedding policy for a single run (default: none)",
+    )
+    stream.add_argument(
+        "--grid",
+        action="store_true",
+        help="sweep the policy x load grid through repro.cluster instead "
+        "of one run (see --loads/--policies/--workers)",
+    )
+    stream.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=None,
+        help="grid load levels (default: 0.5 1.0 1.5 2.0)",
+    )
+    stream.add_argument(
+        "--policies",
+        nargs="+",
+        choices=("none", "prune", "drop"),
+        default=None,
+        help="grid policies (default: all three)",
+    )
+    stream.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="cluster worker processes for the grid fan-out "
+        "(results are identical for any value)",
+    )
+    stream.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    _trace_arg(stream)
+
     serve = sub.add_parser(
         "serve", help="run the scheduler service daemon (see docs/service.md)"
     )
@@ -308,6 +397,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=8,
         help="GA requests allowed to wait; the excess is shed to the "
         "degraded heuristic tier (default: 8)",
+    )
+    serve.add_argument(
+        "--admission",
+        choices=("tiered", "stream"),
+        default="tiered",
+        help="GA admission mode: 'tiered' sheds on the EWMA wait point "
+        "estimate, 'stream' on the probabilistic on-time-start test "
+        "(default: tiered; see docs/stream.md)",
+    )
+    serve.add_argument(
+        "--stream-threshold",
+        type=float,
+        default=0.5,
+        help="stream admission: shed GA requests whose on-time start "
+        "probability is below this (default: 0.5)",
     )
     serve.add_argument(
         "--cache-mb",
@@ -638,6 +742,56 @@ def _run_faults(args: argparse.Namespace) -> str:
     return results.to_table()
 
 
+def _run_stream(args: argparse.Namespace) -> str:
+    from repro.experiments.stream_grid import DEFAULT_LOADS, run_stream_grid
+    from repro.stream import (
+        POLICY_NAMES,
+        StreamParams,
+        build_workload,
+        make_policy,
+        run_stream,
+    )
+
+    params = StreamParams(
+        n_jobs=args.stream_jobs,
+        tasks=args.tasks,
+        m=args.procs,
+        mean_ul=args.ul,
+        load=args.load,
+        arrival=args.arrival,
+        burstiness=args.burstiness,
+        deadline_factor=args.deadline_factor,
+        seed=args.seed,
+    )
+    if args.grid:
+        results = run_stream_grid(
+            params,
+            loads=tuple(args.loads) if args.loads else DEFAULT_LOADS,
+            policies=tuple(args.policies) if args.policies else POLICY_NAMES,
+            n_jobs=args.workers if args.workers is not None else 1,
+            progress=_progress(args),
+        )
+        return results.to_table()
+
+    result = run_stream(build_workload(params), make_policy(args.policy))
+    lines = [
+        f"stream     : {params.n_jobs} jobs x {params.tasks} tasks on "
+        f"m={params.m} ({params.arrival}, load={params.load:g}, "
+        f"seed={params.seed})",
+        f"policy     : {result.policy}",
+        f"on-time    : {result.n_on_time}/{result.n_jobs} "
+        f"(rate {result.on_time_rate:.3f}, miss {result.miss_rate:.3f})",
+        f"outcomes   : {result.n_late} late, {result.n_dropped} dropped, "
+        f"{result.n_rejected} rejected, {result.n_deferrals} deferrals",
+        f"goodput    : {result.goodput:.3f} work/time over horizon "
+        f"{result.horizon:.2f}",
+        f"utilization: {result.utilization:.3f}",
+    ]
+    if result.n_on_time + result.n_late:
+        lines.append(f"mean resp  : {result.mean_response:.2f}")
+    return "\n".join(lines)
+
+
 def _run_serve(args: argparse.Namespace) -> str:
     import asyncio
 
@@ -654,6 +808,8 @@ def _run_serve(args: argparse.Namespace) -> str:
         port=args.port,
         workers=args.workers,
         ga_queue_limit=args.ga_queue_limit,
+        admission_mode=args.admission,
+        stream_threshold=args.stream_threshold,
         cache_bytes=int(args.cache_mb * 1024 * 1024),
     )
     progress = None
@@ -799,6 +955,8 @@ def _dispatch(args: argparse.Namespace) -> str:
         return _run_export(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "stream":
+        return _run_stream(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "submit":

@@ -25,6 +25,7 @@ from repro.experiments.fault_grid import FaultGridResults, run_fault_grid
 from repro.experiments.runner import EpsGridResults, run_eps_grid
 from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
 from repro.experiments.slack_effect import SlackEffectResult, run_slack_effect
+from repro.experiments.stream_grid import StreamGridResults, run_stream_grid
 from repro.experiments.workloads import make_problem, make_problems
 from repro.experiments.zoo import ZooResult, run_zoo
 
@@ -48,6 +49,8 @@ __all__ = [
     "make_problem",
     "run_fault_grid",
     "FaultGridResults",
+    "run_stream_grid",
+    "StreamGridResults",
     "run_zoo",
     "ZooResult",
 ]

@@ -22,7 +22,11 @@ See ``docs/service.md`` for the protocol specification, the overload
 semantics and an example session.
 """
 
-from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.admission import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionDecision,
+)
 from repro.service.cache import ResultCache, cache_key
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import (
@@ -39,6 +43,7 @@ __all__ = [
     "ProtocolError",
     "ResultCache",
     "cache_key",
+    "ADMISSION_MODES",
     "AdmissionController",
     "AdmissionDecision",
     "SchedulerService",

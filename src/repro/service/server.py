@@ -38,7 +38,7 @@ from typing import Any, Callable
 from repro.io.features import problem_features
 from repro.io.json_io import problem_fingerprint, problem_from_dict
 from repro.obs import runtime as obs
-from repro.service.admission import AdmissionController
+from repro.service.admission import ADMISSION_MODES, AdmissionController
 from repro.service.cache import ResultCache, cache_key
 from repro.service.warmstart import WarmStartStore
 from repro.service.protocol import (
@@ -71,6 +71,15 @@ class ServiceConfig:
     ga_queue_limit:
         GA requests allowed to *wait* beyond the running ones; the
         excess is shed to the degraded heuristic tier.
+    admission_mode:
+        ``"tiered"`` (EWMA point estimate) or ``"stream"``
+        (probabilistic on-time-start test from the streaming
+        subsystem); see :mod:`repro.service.admission`.  In both modes
+        a shed request is served the degraded fallback inline and is
+        never enqueued for the GA executor.
+    stream_threshold:
+        Stream mode only: shed a GA request whose on-time start
+        probability is below this value.
     cache_bytes:
         Result cache budget (encoded-JSON bytes).
     fast_threads:
@@ -83,6 +92,8 @@ class ServiceConfig:
     port: int = 0
     workers: int = 1
     ga_queue_limit: int = 8
+    admission_mode: str = "tiered"
+    stream_threshold: float = 0.5
     cache_bytes: int = 64 * 1024 * 1024
     fast_threads: int = 4
     drain_timeout: float = 30.0
@@ -90,6 +101,15 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.admission_mode not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {self.admission_mode!r}; "
+                f"choose from {ADMISSION_MODES}"
+            )
+        if not 0.0 <= self.stream_threshold <= 1.0:
+            raise ValueError(
+                f"stream_threshold must be in [0, 1], got {self.stream_threshold}"
+            )
         if self.fast_threads < 1:
             raise ValueError(f"fast_threads must be >= 1, got {self.fast_threads}")
         if self.drain_timeout <= 0:
@@ -204,7 +224,10 @@ class SchedulerService:
         self.progress = progress
         self.cache = ResultCache(self.config.cache_bytes)
         self.admission = AdmissionController(
-            self.config.ga_queue_limit, self.config.workers
+            self.config.ga_queue_limit,
+            self.config.workers,
+            mode=self.config.admission_mode,
+            stream_threshold=self.config.stream_threshold,
         )
         self.warm_store = WarmStartStore()
         self.port: int | None = None
@@ -529,6 +552,9 @@ class SchedulerService:
     def _status_response(self, request_id: Any) -> dict[str, Any]:
         queue_depth = max(0, self._ga_inflight - self.config.workers)
         obs.set_gauge("service.ga_queue_depth", float(queue_depth))
+        load = self.admission.stream_load()
+        if load is not None:
+            obs.set_gauge("service.stream_load", float(load))
         return ok_response(
             request_id,
             op="status",

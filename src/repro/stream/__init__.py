@@ -1,0 +1,71 @@
+"""Streaming oversubscribed workloads with robustness-aware shedding.
+
+The ROADMAP's heavy-traffic scenario: a continuous arrival stream of
+deadline-carrying DAG jobs competing for one shared platform.  This
+package provides the three pieces —
+
+* :mod:`repro.stream.workload` — seeded Poisson/MMPP arrival-process
+  generators emitting fully-determined jobs (graph, HEFT plan, realized
+  durations, deadline);
+* :mod:`repro.stream.scheduler` — the event-driven online executor
+  multiplexing all in-flight jobs over the shared processors with
+  ``repro.sim.eventsim`` execution semantics (bit-identical to
+  ``simulate()`` at zero contention);
+* :mod:`repro.stream.policies` — pluggable shedding: ``none``,
+  probabilistic task pruning (arXiv 1901.09312) and autonomous task
+  dropping with deferral + fairness (arXiv 2005.11050).
+
+See ``docs/stream.md`` for policies, arrival models and metric
+definitions, and ``repro.experiments.stream_grid`` for the policy x
+load study.
+"""
+
+from repro.stream.policies import (
+    DEFER,
+    DROP,
+    POLICY_NAMES,
+    RUN,
+    DroppingPolicy,
+    NoShedding,
+    PruningPolicy,
+    SheddingPolicy,
+    make_policy,
+)
+from repro.stream.scheduler import (
+    JOB_STATUSES,
+    JobOutcome,
+    StreamResult,
+    run_stream,
+)
+from repro.stream.workload import (
+    ARRIVAL_PROCESSES,
+    StreamJob,
+    StreamParams,
+    StreamWorkload,
+    build_workload,
+    single_job_workload,
+    with_load,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "DEFER",
+    "DROP",
+    "JOB_STATUSES",
+    "POLICY_NAMES",
+    "RUN",
+    "DroppingPolicy",
+    "JobOutcome",
+    "NoShedding",
+    "PruningPolicy",
+    "SheddingPolicy",
+    "StreamJob",
+    "StreamParams",
+    "StreamResult",
+    "StreamWorkload",
+    "build_workload",
+    "make_policy",
+    "run_stream",
+    "single_job_workload",
+    "with_load",
+]

@@ -1,0 +1,215 @@
+"""Robustness-aware shedding policies for the streaming scheduler.
+
+Under oversubscription the platform cannot finish every job by its
+deadline; the question is *which* work to sacrifice.  The two
+Salehi-lab mechanisms referenced in PAPERS.md answer it with the same
+primitive this repo already uses for robustness: the probability that a
+task's job still completes before its deadline, derived from the
+stochastic duration model.
+
+* **Probabilistic task pruning** (arXiv 1901.09312): at every dispatch
+  (and at admission) compute the on-time completion probability; if it
+  has fallen below a threshold the task — and with it the job, since a
+  DAG missing a task can never finish — is *pruned*, immediately
+  releasing its processor demand to jobs that can still make it.
+* **Autonomous task dropping** (arXiv 2005.11050): a two-threshold
+  variant that first *defers* doubtful tasks (letting more promising
+  candidates overtake them, in case the situation improves) and only
+  *drops* once the probability falls below a hard floor.  A fairness
+  knob tilts the drop floor against job classes that have historically
+  been dropped more than their share, so "long" jobs are not starved
+  just because they are easier targets.
+
+Policies are deliberately thin: the scheduler owns the probability
+estimate (see ``stream.scheduler``) and asks the policy two questions —
+``admit`` when a job arrives, ``dispatch`` when a task is about to
+start.  Everything a policy learns arrives through those calls plus
+``record_outcome``, so policies are trivially swappable and the
+no-shedding baseline really is "always say run".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.stream.workload import StreamJob
+
+__all__ = [
+    "RUN",
+    "DEFER",
+    "DROP",
+    "POLICY_NAMES",
+    "SheddingPolicy",
+    "NoShedding",
+    "PruningPolicy",
+    "DroppingPolicy",
+    "make_policy",
+]
+
+#: Dispatch verdicts.
+RUN = "run"
+DEFER = "defer"
+DROP = "drop"
+
+#: Registry of policy names accepted by :func:`make_policy`.
+POLICY_NAMES = ("none", "prune", "drop")
+
+
+class SheddingPolicy:
+    """Base policy: admit everything, run everything (no shedding).
+
+    Subclasses override :meth:`admit` and :meth:`dispatch`; both receive
+    the scheduler's estimate ``p_complete`` of the probability that the
+    *job* finishes by its deadline given that the queried task starts
+    now (see ``stream.scheduler`` for the estimator).  ``dispatch``
+    returns one of :data:`RUN`, :data:`DEFER`, :data:`DROP`.
+    """
+
+    name = "none"
+
+    def admit(self, job: "StreamJob", p_complete: float) -> bool:
+        """Accept *job* into the system at arrival time?"""
+        return True
+
+    def dispatch(
+        self, job: "StreamJob", task: int, p_complete: float, now: float
+    ) -> str:
+        """Verdict for *task* of *job* about to start at time *now*."""
+        return RUN
+
+    def record_outcome(self, job: "StreamJob", status: str) -> None:
+        """Observe a job's terminal status (for adaptive policies)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NoShedding(SheddingPolicy):
+    """The baseline: every arrival enqueued, every ready task run."""
+
+
+@dataclass
+class PruningPolicy(SheddingPolicy):
+    """Probabilistic task pruning (arXiv 1901.09312).
+
+    A task whose job's on-time completion probability is below
+    ``threshold`` at dispatch time is pruned, terminating the job and
+    freeing its remaining demand.  Admission applies the same test, so
+    a job that is hopeless on arrival never occupies queue state.
+    """
+
+    threshold: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in [0, 1], got {self.threshold}"
+            )
+        self.name = "prune"
+
+    def admit(self, job: "StreamJob", p_complete: float) -> bool:
+        """Reject jobs already below the pruning threshold on arrival."""
+        return p_complete >= self.threshold
+
+    def dispatch(
+        self, job: "StreamJob", task: int, p_complete: float, now: float
+    ) -> str:
+        """Prune the job the moment its probability dips below threshold."""
+        if p_complete < self.threshold:
+            return DROP
+        return RUN
+
+
+@dataclass
+class DroppingPolicy(SheddingPolicy):
+    """Autonomous task dropping with deferral and fairness (arXiv 2005.11050).
+
+    Two thresholds: below ``defer_below`` a task is *deferred* —
+    skipped this round so a more promising candidate can take the
+    processor, but revisited the moment nothing better is waiting;
+    below ``drop_below`` it is dropped outright.  ``fairness`` in
+    ``[0, 1]`` scales how strongly the drop floor is lowered for job
+    classes whose historical drop rate exceeds the overall average
+    (0 = class-blind, 1 = a class dropped twice as often as average has
+    its floor halved).
+    """
+
+    drop_below: float = 0.10
+    defer_below: float = 0.40
+    fairness: float = 0.5
+    _offered: dict[str, int] = field(default_factory=dict, repr=False)
+    _dropped: dict[str, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_below <= 1.0:
+            raise ValueError(
+                f"drop_below must be in [0, 1], got {self.drop_below}"
+            )
+        if not self.drop_below <= self.defer_below <= 1.0:
+            raise ValueError(
+                "need drop_below <= defer_below <= 1, got "
+                f"drop_below={self.drop_below}, defer_below={self.defer_below}"
+            )
+        if not 0.0 <= self.fairness <= 1.0:
+            raise ValueError(f"fairness must be in [0, 1], got {self.fairness}")
+        self.name = "drop"
+
+    def admit(self, job: "StreamJob", p_complete: float) -> bool:
+        """Count the offer per class; reject only the hopeless (P = 0)."""
+        self._offered[job.klass] = self._offered.get(job.klass, 0) + 1
+        # Dropping is a runtime decision; admission only rejects the
+        # truly hopeless (probability identically zero on arrival).
+        return p_complete > 0.0
+
+    def _drop_floor(self, klass: str) -> float:
+        """Class-adjusted drop threshold (lower for over-dropped classes)."""
+        offered = sum(self._offered.values())
+        if offered == 0 or self.fairness == 0.0:
+            return self.drop_below
+        dropped = sum(self._dropped.values())
+        overall = dropped / offered
+        k_off = self._offered.get(klass, 0)
+        if k_off == 0 or overall == 0.0:
+            return self.drop_below
+        k_rate = self._dropped.get(klass, 0) / k_off
+        # excess > 1 means this class is dropped more than its share.
+        excess = k_rate / overall
+        if excess <= 1.0:
+            return self.drop_below
+        return self.drop_below / (1.0 + self.fairness * (excess - 1.0))
+
+    def dispatch(
+        self, job: "StreamJob", task: int, p_complete: float, now: float
+    ) -> str:
+        """Drop below the class-adjusted floor, defer below the soft bar."""
+        if p_complete < self._drop_floor(job.klass):
+            return DROP
+        if p_complete < self.defer_below:
+            return DEFER
+        return RUN
+
+    def record_outcome(self, job: "StreamJob", status: str) -> None:
+        """Track per-class drops so the fairness floor can react."""
+        if status == "dropped":
+            self._dropped[job.klass] = self._dropped.get(job.klass, 0) + 1
+
+
+def make_policy(name: str, **kwargs) -> SheddingPolicy:
+    """Build a shedding policy by registry name.
+
+    ``none`` takes no options; ``prune`` accepts ``threshold``;
+    ``drop`` accepts ``drop_below``/``defer_below``/``fairness``.
+    """
+    if name == "none":
+        if kwargs:
+            raise TypeError(f"policy 'none' takes no options, got {kwargs}")
+        return NoShedding()
+    if name == "prune":
+        return PruningPolicy(**kwargs)
+    if name == "drop":
+        return DroppingPolicy(**kwargs)
+    raise ValueError(
+        f"unknown shedding policy {name!r}; choose from {POLICY_NAMES}"
+    )

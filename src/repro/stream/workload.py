@@ -1,0 +1,358 @@
+"""Arrival-process workload generator for the streaming scheduler.
+
+The ROADMAP's heavy-traffic scenario is a *continuous stream* of DAG
+jobs competing for one shared platform: each job arrives at a random
+time, carries its own task graph, uncertainty model and deadline, and
+must be multiplexed with every other in-flight job.  This module turns
+that scenario into a reproducible object:
+
+* jobs are full :class:`~repro.core.problem.SchedulingProblem` instances
+  generated with the paper's methodology (layered random DAG, COV-based
+  BCET, two-stage-gamma UL), one independent ``SeedSequence`` spawn per
+  job, so any job can be rebuilt in isolation;
+* each job is statically planned in isolation with HEFT at generation
+  time; its *expected makespan in an empty system* ``M0`` prices the
+  deadline ``arrival + deadline_factor * M0`` — the promise a client
+  would be given at submission;
+* the realized duration of every task is sampled up front from the
+  job's uncertainty model (one realization per job, its own stream), so
+  a workload is one fully-determined world: the same seed always yields
+  the same arrivals, deadlines and durations, no matter which policy
+  later schedules it;
+* arrival times follow either a homogeneous Poisson process or a
+  two-state Markov-modulated Poisson process (MMPP — bursty traffic),
+  calibrated so the *offered load* — expected work arriving per time
+  unit divided by the platform's ``m`` units of capacity — equals the
+  requested ``load``.  ``load > 1`` is oversubscription: work arrives
+  faster than the platform can retire it.
+
+Because job bodies derive from per-job spawn keys and only the arrival
+spacing folds in the rate, two workloads that differ only in ``load``
+contain the *same jobs* at different densities — load sweeps isolate the
+effect of contention, mirroring how ``experiments.workloads`` shares
+graphs across uncertainty levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.platform.uncertainty import UncertaintyParams
+from repro.schedule.schedule import Schedule
+from repro.sim.eventsim import simulate
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "StreamParams",
+    "StreamJob",
+    "StreamWorkload",
+    "build_workload",
+    "single_job_workload",
+    "with_load",
+]
+
+#: Supported arrival processes.
+ARRIVAL_PROCESSES = ("poisson", "mmpp")
+
+
+@dataclass(frozen=True)
+class StreamParams:
+    """Inputs of the stream-workload generator.
+
+    Attributes
+    ----------
+    n_jobs:
+        Number of DAG jobs in the stream.
+    tasks:
+        Tasks per job (the generator's layered-DAG ``n``).
+    m:
+        Processors of the shared platform (every job sees the same
+        platform width).
+    mean_ul:
+        Mean uncertainty level of each job's UL matrix (paper sweeps
+        2..8).
+    load:
+        Offered load relative to platform capacity: 1.0 means expected
+        work arrives exactly as fast as ``m`` processors can retire it;
+        1.5 is 1.5x oversubscription.
+    arrival:
+        ``"poisson"`` (homogeneous) or ``"mmpp"`` (two-state bursty).
+    burstiness:
+        MMPP only: ratio of the fast state's arrival rate to the slow
+        state's (> 1).  The time-average rate always matches *load*.
+    phase_jobs:
+        MMPP only: mean number of jobs per modulation phase — sets the
+        mean phase duration to ``phase_jobs / rate``.
+    deadline_factor:
+        Deadline slack multiplier: a job arriving at ``a`` with isolated
+        expected makespan ``M0`` is due at ``a + deadline_factor * M0``.
+    seed:
+        Root seed; per-job problem/duration streams and the arrival
+        stream are independent ``SeedSequence`` spawns of it.
+    """
+
+    n_jobs: int = 40
+    tasks: int = 24
+    m: int = 4
+    mean_ul: float = 2.0
+    load: float = 1.0
+    arrival: str = "poisson"
+    burstiness: float = 4.0
+    phase_jobs: float = 8.0
+    deadline_factor: float = 3.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.tasks < 1:
+            raise ValueError(f"tasks must be >= 1, got {self.tasks}")
+        if self.m < 1:
+            raise ValueError(f"m must be >= 1, got {self.m}")
+        if self.mean_ul < 1.0:
+            raise ValueError(f"mean_ul must be >= 1, got {self.mean_ul}")
+        if self.load <= 0.0:
+            raise ValueError(f"load must be positive, got {self.load}")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"choose from {ARRIVAL_PROCESSES}"
+            )
+        if self.burstiness <= 1.0:
+            raise ValueError(f"burstiness must be > 1, got {self.burstiness}")
+        if self.phase_jobs <= 0.0:
+            raise ValueError(f"phase_jobs must be positive, got {self.phase_jobs}")
+        if self.deadline_factor <= 0.0:
+            raise ValueError(
+                f"deadline_factor must be positive, got {self.deadline_factor}"
+            )
+
+
+@dataclass(frozen=True)
+class StreamJob:
+    """One DAG job of the stream: everything fixed before execution.
+
+    ``durations`` is the job's *realized* world (hidden from every
+    scheduling decision, exactly like the Monte-Carlo evaluator's
+    realizations); ``schedule`` is the static HEFT plan whose
+    per-processor orders the online executor follows; ``work`` is the
+    total expected execution time of the assigned tasks — the unit the
+    load calibration and the goodput metric count; ``klass`` buckets
+    jobs by size (``"short"``/``"long"`` around the pool median) for the
+    dropping policy's fairness accounting.
+    """
+
+    index: int
+    problem: SchedulingProblem
+    schedule: Schedule
+    durations: np.ndarray
+    arrival: float
+    deadline: float
+    expected_makespan: float
+    work: float
+    klass: str
+
+    @property
+    def n(self) -> int:
+        """Number of tasks in the job."""
+        return self.problem.n
+
+
+@dataclass(frozen=True)
+class StreamWorkload:
+    """A fully-determined stream: jobs sorted by arrival time."""
+
+    params: StreamParams
+    jobs: tuple[StreamJob, ...]
+    arrival_rate: float
+    mean_work: float
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of jobs in the stream."""
+        return len(self.jobs)
+
+    @property
+    def m(self) -> int:
+        """Shared-platform processor count."""
+        return self.params.m
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StreamWorkload(n_jobs={self.n_jobs}, m={self.m}, "
+            f"load={self.params.load:g}, arrival={self.params.arrival!r})"
+        )
+
+
+def _job_problem(params: StreamParams, index: int) -> SchedulingProblem:
+    """Instance *index* of the stream (independent of load and arrival)."""
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=params.seed, spawn_key=(0, index))
+    )
+    return SchedulingProblem.random(
+        m=params.m,
+        dag_params=DagParams(n=params.tasks),
+        uncertainty_params=UncertaintyParams(mean_ul=params.mean_ul),
+        rng=rng,
+        name=f"stream-job{index}",
+    )
+
+
+def _arrival_times(params: StreamParams, rate: float) -> np.ndarray:
+    """Sample the ``n_jobs`` arrival instants at mean *rate* jobs/time."""
+    gen = np.random.default_rng(
+        np.random.SeedSequence(entropy=params.seed, spawn_key=(2,))
+    )
+    if params.arrival == "poisson":
+        gaps = gen.exponential(1.0 / rate, size=params.n_jobs)
+        return np.cumsum(gaps)
+    # Two-state MMPP: exponential sojourns of equal mean in a slow and a
+    # fast phase whose rates average (over time) to *rate*:
+    # lam_slow = 2 r / (1 + b), lam_fast = b * lam_slow.
+    lam_slow = 2.0 * rate / (1.0 + params.burstiness)
+    rates = (lam_slow, params.burstiness * lam_slow)
+    mean_phase = params.phase_jobs / rate
+    arrivals = np.empty(params.n_jobs, dtype=np.float64)
+    t = 0.0
+    state = 0
+    phase_end = float(gen.exponential(mean_phase))
+    for j in range(params.n_jobs):
+        while True:
+            gap = float(gen.exponential(1.0 / rates[state]))
+            if t + gap <= phase_end:
+                t += gap
+                break
+            # Memorylessness: restart the draw from the phase boundary.
+            t = phase_end
+            state = 1 - state
+            phase_end = t + float(gen.exponential(mean_phase))
+        arrivals[j] = t
+    return arrivals
+
+
+def build_workload(params: StreamParams) -> StreamWorkload:
+    """Generate the full stream for *params* (deterministic in the seed).
+
+    Job bodies (graphs, BCET/UL matrices, HEFT plans, realized
+    durations) depend only on ``(seed, index)``; the offered ``load``
+    and the arrival process shape only the arrival instants.  The
+    arrival rate is calibrated against the *generated* jobs:
+    ``rate = load * m / mean(work)``.
+    """
+    jobs_static = []
+    for j in range(params.n_jobs):
+        problem = _job_problem(params, j)
+        schedule = HeftScheduler().schedule(problem)
+        m0 = simulate(schedule).makespan
+        durations = schedule.realize_durations(
+            1,
+            rng=np.random.default_rng(
+                np.random.SeedSequence(entropy=params.seed, spawn_key=(1, j))
+            ),
+        )[0]
+        work = float(schedule.expected_durations().sum())
+        jobs_static.append((problem, schedule, m0, durations, work))
+
+    works = np.array([w for *_, w in jobs_static], dtype=np.float64)
+    mean_work = float(works.mean())
+    rate = params.load * params.m / mean_work
+    arrivals = _arrival_times(params, rate)
+    median_work = float(np.median(works))
+
+    jobs = tuple(
+        StreamJob(
+            index=j,
+            problem=problem,
+            schedule=schedule,
+            durations=durations,
+            arrival=float(arrivals[j]),
+            deadline=float(arrivals[j]) + params.deadline_factor * m0,
+            expected_makespan=m0,
+            work=work,
+            klass="short" if work <= median_work else "long",
+        )
+        for j, (problem, schedule, m0, durations, work) in enumerate(jobs_static)
+    )
+    return StreamWorkload(
+        params=params, jobs=jobs, arrival_rate=rate, mean_work=mean_work
+    )
+
+
+def single_job_workload(
+    problem: SchedulingProblem,
+    *,
+    seed: int = 0,
+    deadline_factor: float = 3.0,
+    arrival: float = 0.0,
+    schedule: Schedule | None = None,
+) -> StreamWorkload:
+    """Wrap one existing problem as a one-job stream (tests, debugging).
+
+    With ``arrival=0.0`` (the default) the stream executor's event loop
+    sees exactly the state :func:`repro.sim.eventsim.simulate` starts
+    from, which is what the zero-contention bit-identity property pins.
+    """
+    if arrival < 0.0:
+        raise ValueError(f"arrival must be >= 0, got {arrival}")
+    if deadline_factor <= 0.0:
+        raise ValueError(f"deadline_factor must be positive, got {deadline_factor}")
+    schedule = schedule or HeftScheduler().schedule(problem)
+    m0 = simulate(schedule).makespan
+    durations = schedule.realize_durations(
+        1,
+        rng=np.random.default_rng(
+            np.random.SeedSequence(entropy=seed, spawn_key=(1, 0))
+        ),
+    )[0]
+    work = float(schedule.expected_durations().sum())
+    job = StreamJob(
+        index=0,
+        problem=problem,
+        schedule=schedule,
+        durations=durations,
+        arrival=float(arrival),
+        deadline=float(arrival) + deadline_factor * m0,
+        expected_makespan=m0,
+        work=work,
+        klass="short",
+    )
+    params = StreamParams(
+        n_jobs=1, tasks=problem.n, m=problem.m, load=1.0, seed=seed,
+        deadline_factor=deadline_factor,
+    )
+    return StreamWorkload(
+        params=params,
+        jobs=(job,),
+        arrival_rate=1.0 / max(job.expected_makespan, 1e-12),
+        mean_work=work,
+    )
+
+
+def with_load(workload: StreamWorkload, load: float) -> StreamWorkload:
+    """Re-space an existing workload's arrivals at a different load.
+
+    Reuses the already-generated job bodies (the expensive part) and
+    only resamples the arrival instants — the same trick
+    :func:`build_workload` guarantees across separate calls, minus the
+    regeneration cost.  Deadlines shift with the new arrivals.
+    """
+    params = replace(workload.params, load=load)
+    rate = load * workload.m / workload.mean_work
+    arrivals = _arrival_times(params, rate)
+    jobs = tuple(
+        replace(
+            job,
+            arrival=float(arrivals[j]),
+            deadline=float(arrivals[j])
+            + params.deadline_factor * job.expected_makespan,
+        )
+        for j, job in enumerate(workload.jobs)
+    )
+    return StreamWorkload(
+        params=params, jobs=jobs, arrival_rate=rate, mean_work=workload.mean_work
+    )

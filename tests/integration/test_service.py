@@ -247,6 +247,61 @@ class TestServiceEndToEnd:
             assert impatient["degraded"]
             assert "deadline" in impatient["degraded_reason"]
 
+    def test_stream_admission_sheds_without_enqueueing(self):
+        """Stream mode: a shed request is served inline, never queued.
+
+        Mirrors the deadline test under ``admission_mode="stream"`` —
+        the shed reason is the probabilistic one, the shed request does
+        not consume a GA admission, and the tier counters partition the
+        routed requests (the invariant pinned in repro.service.admission).
+        """
+        problem = _problem(seed=12, n=30)
+        with ServiceHarness(
+            workers=1, ga_queue_limit=8, admission_mode="stream",
+            stream_threshold=0.5,
+        ) as harness:
+            with harness.client() as client:
+                client.solve(
+                    problem, solver="ga", epsilon=1.2, seed=1,
+                    n_realizations=N_REAL, ga=GA_SLOW,
+                )
+
+                def occupy(seed: int) -> dict:
+                    with harness.client() as c2:
+                        return c2.solve(
+                            problem, solver="ga", epsilon=1.2, seed=seed,
+                            n_realizations=N_REAL, ga=GA_SLOW,
+                        )
+
+                with ThreadPoolExecutor(max_workers=2) as pool:
+                    busy = [pool.submit(occupy, s) for s in (2, 3)]
+                    deadline = __import__("time").monotonic() + 10
+                    while (
+                        harness.service._ga_inflight < 2
+                        and __import__("time").monotonic() < deadline
+                    ):
+                        __import__("time").sleep(0.01)
+                    before = client.status()["admission"]
+                    impatient = client.solve(
+                        problem, solver="ga", epsilon=1.2, seed=4,
+                        n_realizations=N_REAL, ga=GA_SLOW,
+                        deadline_s=1e-6,
+                    )
+                    after = client.status()["admission"]
+                    for f in busy:
+                        assert f.result()["ok"]
+                status = client.status()
+            assert impatient["ok"]
+            assert impatient["degraded"]
+            assert "probability" in impatient["degraded_reason"]
+            # Shed, not enqueued: the GA admission count did not move.
+            assert after["admitted_ga"] == before["admitted_ga"]
+            assert after["shed_probability"] == before["shed_probability"] + 1
+            admission = status["admission"]
+            assert admission["mode"] == "stream"
+            assert admission["shed"] >= 1
+            assert admission["admitted_ga"] == 3  # primer + the two busy
+
     def test_malformed_requests_get_error_responses(self):
         with ServiceHarness(workers=1) as harness:
             with harness.client() as client:

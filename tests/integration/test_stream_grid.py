@@ -1,0 +1,95 @@
+"""Integration tests for the stream grid: acceptance curves + determinism.
+
+Two contracts from the ISSUE's acceptance criteria:
+
+* at oversubscription (load >= 1.5x) **both** shedding policies must
+  beat the no-shedding baseline on system-wide on-time completion —
+  the qualitative claim of the two task-dropping papers;
+* the same arrival seed + policy reproduces the **same drop set**
+  whether the grid runs in-process or fanned out over 4 cluster
+  workers — bit-identical results for any worker count.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import run_stream_grid
+from repro.stream import StreamParams
+
+#: The default-seed workload the bench and the docs quote.
+PARAMS = StreamParams(seed=20060925)
+
+#: Shrunk pool for the serial-vs-parallel comparison (runtime bound).
+SMALL = StreamParams(n_jobs=12, tasks=10, m=3, load=2.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def oversubscribed_grid():
+    return run_stream_grid(PARAMS, loads=(1.5, 2.0), policies=("none", "prune", "drop"))
+
+
+class TestAcceptanceCurves:
+    def test_both_policies_beat_no_shedding(self, oversubscribed_grid):
+        for load in (1.5, 2.0):
+            baseline = oversubscribed_grid.cell(load, "none").on_time_rate
+            for policy in ("prune", "drop"):
+                shed = oversubscribed_grid.cell(load, policy).on_time_rate
+                assert shed > baseline, (
+                    f"{policy} did not beat no-shedding at load {load}: "
+                    f"{shed:.3f} <= {baseline:.3f}"
+                )
+
+    def test_goodput_improves_too(self, oversubscribed_grid):
+        for load in (1.5, 2.0):
+            baseline = oversubscribed_grid.cell(load, "none").goodput
+            for policy in ("prune", "drop"):
+                assert oversubscribed_grid.cell(load, policy).goodput > baseline
+
+    def test_curves_shape(self, oversubscribed_grid):
+        curves = oversubscribed_grid.curves()
+        assert set(curves) == {"none", "prune", "drop"}
+        for points in curves.values():
+            assert [load for load, _, _ in points] == [1.5, 2.0]
+            for _, miss, goodput in points:
+                assert 0.0 <= miss <= 1.0
+                assert goodput >= 0.0
+
+    def test_table_renders(self, oversubscribed_grid):
+        table = oversubscribed_grid.to_table()
+        assert "stream grid" in table
+        assert "prune" in table and "drop" in table
+
+
+class TestGridDeterminism:
+    def test_serial_matches_four_workers(self):
+        serial = run_stream_grid(
+            SMALL, loads=(2.0,), policies=("prune", "drop"), n_jobs=1
+        )
+        fanned = run_stream_grid(
+            SMALL, loads=(2.0,), policies=("prune", "drop"), n_jobs=4
+        )
+        for policy in ("prune", "drop"):
+            a = serial.cell(2.0, policy)
+            b = fanned.cell(2.0, policy)
+            assert a.drop_set == b.drop_set
+            assert a.horizon == b.horizon
+            assert a.busy_time == b.busy_time
+            for oa, ob in zip(a.outcomes, b.outcomes):
+                assert oa.status == ob.status
+                # NaN-aware: shed jobs never finish in either world.
+                assert oa.finish == ob.finish or (
+                    math.isnan(oa.finish) and math.isnan(ob.finish)
+                )
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="load"):
+            run_stream_grid(SMALL, loads=())
+        with pytest.raises(ValueError, match="load"):
+            run_stream_grid(SMALL, loads=(0.0,))
+        with pytest.raises(ValueError, match="policy"):
+            run_stream_grid(SMALL, policies=())
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_stream_grid(SMALL, policies=("lottery",))
+        with pytest.raises(ValueError, match="n_jobs"):
+            run_stream_grid(SMALL, n_jobs=0)

@@ -234,6 +234,159 @@ class TestAdmissionController:
             AdmissionController(ga_queue_limit=-1)
         with pytest.raises(ValueError):
             AdmissionController(ga_workers=0)
+        with pytest.raises(ValueError, match="admission mode"):
+            AdmissionController(mode="psychic")
+        with pytest.raises(ValueError, match="stream_threshold"):
+            AdmissionController(mode="stream", stream_threshold=1.5)
+
+
+class FakeClock:
+    """Injectable monotonic clock for the inter-arrival estimator."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> float:
+        self.now += dt
+        return self.now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestStreamAdmission:
+    """The probabilistic admission mode (see repro.service.admission)."""
+
+    def _controller(self, **kwargs):
+        kwargs.setdefault("ga_queue_limit", 100)
+        kwargs.setdefault("mode", "stream")
+        return AdmissionController(**kwargs)
+
+    def test_no_history_falls_back_to_depth_bound(self):
+        admission = self._controller()
+        assert admission.route("ga", 50, deadline_s=1e-9).tier == "ga"
+
+    def test_start_probability_normal_model(self):
+        admission = self._controller(ewma_alpha=0.5)
+        # Two observations: ewma = 3, West's var = 0.5 * (0 + 0.5*4) = 1.
+        admission.observe_ga_seconds(4.0)
+        admission.observe_ga_seconds(2.0)
+        assert admission.ga_seconds_ewma == pytest.approx(3.0)
+        assert admission.ga_seconds_var == pytest.approx(1.0)
+        # Behind 1 queued job: wait ~ N(3, 1); P(wait <= 3) = 0.5.
+        assert admission.start_probability(1, 3.0) == pytest.approx(0.5)
+        assert admission.start_probability(1, 5.0) > 0.97
+        assert admission.start_probability(1, 1.0) < 0.03
+        # No deadline or no history -> no test.
+        assert admission.start_probability(1, None) is None
+        assert AdmissionController(mode="stream").start_probability(1, 5.0) is None
+
+    def test_zero_variance_degenerates_to_step(self):
+        admission = self._controller()
+        admission.observe_ga_seconds(2.0)  # single sample: var == 0
+        assert admission.start_probability(2, 5.0) == 1.0
+        assert admission.start_probability(2, 3.0) == 0.0
+
+    def test_sheds_on_low_start_probability(self):
+        admission = self._controller(stream_threshold=0.5)
+        admission.observe_ga_seconds(10.0)
+        decision = admission.route("ga", 5, deadline_s=1.0)
+        assert decision.tier == "shed"
+        assert "probability" in decision.reason
+        stats = admission.stats()
+        assert stats["shed_probability"] == 1
+        assert stats["shed_deadline"] == 0
+        # A patient client is admitted at the same depth.
+        assert admission.route("ga", 5, deadline_s=1000.0).tier == "ga"
+
+    def test_uncertainty_sheds_what_tiered_mode_admits(self):
+        """The point of stream mode: variance prices the coin flip."""
+
+        def primed(mode):
+            admission = AdmissionController(
+                ga_queue_limit=100,
+                mode=mode,
+                ewma_alpha=0.5,
+                stream_threshold=0.6,
+            )
+            for x in (1.0, 9.0, 1.0, 9.0, 1.0, 9.0):
+                admission.observe_ga_seconds(x)
+            return admission
+
+        tiered, stream = primed("tiered"), primed("stream")
+        assert stream.ga_seconds_var > 0.0
+        # Mean wait fits the deadline, so the point estimate admits...
+        deadline = tiered.predicted_wait_s(4) * 1.05
+        assert tiered.route("ga", 4 + 1, deadline_s=deadline).tier == "ga"
+        # ...but success is barely better than a coin flip (~0.56),
+        # below the configured 0.6 bar: uncertainty is priced in.
+        assert stream.route("ga", 4 + 1, deadline_s=deadline).tier == "shed"
+
+    def test_shed_xor_enqueued_partition(self):
+        """Every route() lands in exactly one tier counter — both modes.
+
+        This is the invariant the module docstring pins: a shed request
+        is a terminal rewrite, never also enqueued, so the three
+        counters always sum to the number of route calls.
+        """
+        for mode in ("tiered", "stream"):
+            admission = AdmissionController(
+                ga_queue_limit=2, mode=mode, stream_threshold=0.5
+            )
+            admission.observe_ga_seconds(10.0)
+            admission.observe_ga_seconds(1.0)
+            routed = 0
+            for solver in ("heft", "ga", "ga", "cpop", "ga", "ga", "ga"):
+                for inflight in (0, 2, 5):
+                    for deadline_s in (None, 1e-6, 1e6):
+                        decision = admission.route(
+                            solver, inflight, deadline_s=deadline_s
+                        )
+                        routed += 1
+                        assert decision.tier in ("fast", "ga", "shed")
+                        # Never both shed and enqueued: a single tier.
+                        if decision.tier == "shed":
+                            assert decision.reason
+            stats = admission.stats()
+            assert (
+                stats["admitted_fast"] + stats["admitted_ga"] + stats["shed"]
+                == routed
+            )
+            assert (
+                stats["shed_queue_full"]
+                + stats["shed_deadline"]
+                + stats["shed_probability"]
+                == stats["shed"]
+            )
+
+    def test_stream_load_estimate(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            ga_queue_limit=100, ga_workers=2, mode="stream", clock=clock
+        )
+        assert admission.stream_load() is None
+        admission.route("ga", 0)
+        clock.advance(2.0)
+        admission.route("ga", 0)
+        admission.observe_ga_seconds(8.0)
+        # service 8s / (interarrival 2s * 2 workers) = 2x oversubscribed.
+        assert admission.stream_load() == pytest.approx(2.0)
+        assert admission.stats()["stream_load"] == pytest.approx(2.0)
+
+    def test_stats_expose_the_mode(self):
+        stats = self._controller(stream_threshold=0.25).stats()
+        assert stats["mode"] == "stream"
+        assert stats["stream_threshold"] == 0.25
+        assert AdmissionController().stats()["mode"] == "tiered"
+
+    def test_service_config_validates_admission_fields(self):
+        from repro.service import ServiceConfig
+
+        assert ServiceConfig(admission_mode="stream").stream_threshold == 0.5
+        with pytest.raises(ValueError, match="admission mode"):
+            ServiceConfig(admission_mode="psychic")
+        with pytest.raises(ValueError, match="stream_threshold"):
+            ServiceConfig(stream_threshold=-0.1)
 
 
 class TestExecutePayload:

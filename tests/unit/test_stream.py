@@ -1,0 +1,305 @@
+"""Unit tests for repro.stream: workload, policies, scheduler, metrics."""
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.obs import runtime
+from repro.obs.sinks import InMemorySink
+from repro.stream import (
+    DEFER,
+    DROP,
+    RUN,
+    DroppingPolicy,
+    NoShedding,
+    PruningPolicy,
+    StreamParams,
+    build_workload,
+    make_policy,
+    run_stream,
+    single_job_workload,
+    with_load,
+)
+
+
+def _tiny(load=1.5, **overrides) -> StreamParams:
+    """A small-but-real stream: quick to build, still contended."""
+    defaults = dict(n_jobs=8, tasks=8, m=2, load=load, seed=5)
+    defaults.update(overrides)
+    return StreamParams(**defaults)
+
+
+class TestStreamParams:
+    def test_defaults_are_valid(self):
+        params = StreamParams()
+        assert params.n_jobs == 40
+        assert params.arrival == "poisson"
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_jobs", 0),
+            ("tasks", 0),
+            ("m", 0),
+            ("mean_ul", 0.5),
+            ("load", 0.0),
+            ("load", -1.0),
+            ("arrival", "uniform"),
+            ("burstiness", 1.0),
+            ("phase_jobs", 0.0),
+            ("deadline_factor", 0.0),
+        ],
+    )
+    def test_rejects_bad_fields(self, field, value):
+        with pytest.raises(ValueError, match=field.replace("_", ".")):
+            StreamParams(**{field: value})
+
+
+class TestWorkload:
+    def test_same_seed_same_world(self):
+        a = build_workload(_tiny())
+        b = build_workload(_tiny())
+        for ja, jb in zip(a.jobs, b.jobs):
+            assert ja.arrival == jb.arrival
+            assert ja.deadline == jb.deadline
+            assert np.array_equal(ja.durations, jb.durations)
+        assert a.arrival_rate == b.arrival_rate
+
+    def test_load_changes_only_the_arrivals(self):
+        light = build_workload(_tiny(load=0.5))
+        heavy = build_workload(_tiny(load=2.0))
+        for jl, jh in zip(light.jobs, heavy.jobs):
+            assert np.array_equal(jl.durations, jh.durations)
+            assert jl.expected_makespan == jh.expected_makespan
+            assert jl.work == jh.work
+        # 4x the load compresses the mean arrival gap 4x.
+        assert heavy.arrival_rate == pytest.approx(4 * light.arrival_rate)
+
+    def test_with_load_matches_fresh_build(self):
+        rebuilt = build_workload(_tiny(load=2.0))
+        respaced = with_load(build_workload(_tiny(load=0.5)), 2.0)
+        assert respaced.params == rebuilt.params
+        for ja, jb in zip(respaced.jobs, rebuilt.jobs):
+            assert ja.arrival == jb.arrival
+            assert ja.deadline == jb.deadline
+            assert np.array_equal(ja.durations, jb.durations)
+
+    def test_load_calibration(self):
+        workload = build_workload(_tiny(load=1.5))
+        # rate = load * m / mean(work), by construction.
+        assert workload.arrival_rate == pytest.approx(
+            1.5 * workload.m / workload.mean_work
+        )
+
+    @pytest.mark.parametrize("arrival", ["poisson", "mmpp"])
+    def test_arrivals_sorted_and_positive(self, arrival):
+        workload = build_workload(_tiny(arrival=arrival, n_jobs=12))
+        arrivals = [job.arrival for job in workload.jobs]
+        assert all(a > 0.0 for a in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_deadline_prices_isolated_makespan(self):
+        workload = build_workload(_tiny(deadline_factor=2.5))
+        for job in workload.jobs:
+            assert job.deadline == pytest.approx(
+                job.arrival + 2.5 * job.expected_makespan
+            )
+
+    def test_klass_splits_around_the_median(self):
+        workload = build_workload(_tiny(n_jobs=9))
+        works = sorted(job.work for job in workload.jobs)
+        median = works[len(works) // 2]
+        for job in workload.jobs:
+            assert job.klass == ("short" if job.work <= median else "long")
+        assert {job.klass for job in workload.jobs} == {"short", "long"}
+
+    def test_single_job_workload_validation(self, small_random_problem):
+        with pytest.raises(ValueError, match="arrival"):
+            single_job_workload(small_random_problem, arrival=-1.0)
+        with pytest.raises(ValueError, match="deadline_factor"):
+            single_job_workload(small_random_problem, deadline_factor=0.0)
+
+
+class TestPolicies:
+    def test_registry(self):
+        assert isinstance(make_policy("none"), NoShedding)
+        assert isinstance(make_policy("prune"), PruningPolicy)
+        assert isinstance(make_policy("drop"), DroppingPolicy)
+        assert make_policy("prune", threshold=0.5).threshold == 0.5
+        with pytest.raises(ValueError, match="unknown shedding policy"):
+            make_policy("lottery")
+        with pytest.raises(TypeError, match="takes no options"):
+            make_policy("none", threshold=0.5)
+
+    def test_no_shedding_always_runs(self):
+        policy = NoShedding()
+        assert policy.name == "none"
+        assert policy.admit(None, 0.0)
+        assert policy.dispatch(None, 0, 0.0, 0.0) == RUN
+
+    def test_pruning_thresholds(self):
+        policy = PruningPolicy(threshold=0.3)
+        assert policy.name == "prune"
+        assert policy.dispatch(None, 0, 0.31, 0.0) == RUN
+        assert policy.dispatch(None, 0, 0.29, 0.0) == DROP
+        assert policy.admit(None, 0.31)
+        assert not policy.admit(None, 0.29)
+        with pytest.raises(ValueError, match="threshold"):
+            PruningPolicy(threshold=1.5)
+
+    def test_dropping_bands(self):
+        job = _FakeJob("short")
+        policy = DroppingPolicy(drop_below=0.1, defer_below=0.4, fairness=0.0)
+        assert policy.name == "drop"
+        assert policy.dispatch(job, 0, 0.5, 0.0) == RUN
+        assert policy.dispatch(job, 0, 0.2, 0.0) == DEFER
+        assert policy.dispatch(job, 0, 0.05, 0.0) == DROP
+        # Admission only rejects the hopeless.
+        assert policy.admit(job, 0.01)
+        assert not policy.admit(job, 0.0)
+
+    def test_dropping_validation(self):
+        with pytest.raises(ValueError, match="drop_below"):
+            DroppingPolicy(drop_below=-0.1)
+        with pytest.raises(ValueError, match="defer_below"):
+            DroppingPolicy(drop_below=0.5, defer_below=0.4)
+        with pytest.raises(ValueError, match="fairness"):
+            DroppingPolicy(fairness=2.0)
+
+    def test_fairness_lowers_the_floor_for_over_dropped_classes(self):
+        policy = DroppingPolicy(drop_below=0.2, defer_below=0.4, fairness=1.0)
+        short, long = _FakeJob("short"), _FakeJob("long")
+        for job in (short, short, long, long):
+            policy.admit(job, 0.5)
+        # Both drops landed on "long": its floor must fall below 0.2
+        # while "short" keeps the nominal floor.
+        policy.record_outcome(long, "dropped")
+        policy.record_outcome(long, "dropped")
+        assert policy._drop_floor("short") == pytest.approx(0.2)
+        assert policy._drop_floor("long") < 0.2
+        # A probability between the two floors is dropped for the
+        # favoured class but only deferred for the over-dropped one.
+        p = (policy._drop_floor("long") + 0.2) / 2
+        assert policy.dispatch(short, 0, p, 0.0) == DROP
+        assert policy.dispatch(long, 0, p, 0.0) == DEFER
+
+    def test_fairness_zero_is_class_blind(self):
+        policy = DroppingPolicy(drop_below=0.2, fairness=0.0)
+        long = _FakeJob("long")
+        policy.admit(long, 0.5)
+        policy.record_outcome(long, "dropped")
+        assert policy._drop_floor("long") == 0.2
+        assert policy._drop_floor("short") == 0.2
+
+
+class _FakeJob:
+    """The only policy-visible field the tests need."""
+
+    def __init__(self, klass: str) -> None:
+        self.klass = klass
+
+
+class TestRunStream:
+    def test_no_shedding_partitions_outcomes(self):
+        workload = build_workload(_tiny())
+        result = run_stream(workload)
+        assert result.policy == "none"
+        assert result.n_on_time + result.n_late == result.n_jobs
+        assert result.n_dropped == result.n_rejected == 0
+        assert result.drop_set == ()
+        assert all(o.status in ("on-time", "late") for o in result.outcomes)
+        assert all(math.isfinite(o.finish) for o in result.outcomes)
+        assert all(
+            o.n_done == j.n for o, j in zip(result.outcomes, workload.jobs)
+        )
+
+    def test_metrics_are_well_formed(self):
+        result = run_stream(build_workload(_tiny(load=2.0)), make_policy("prune"))
+        assert 0.0 <= result.on_time_rate <= 1.0
+        assert result.miss_rate == pytest.approx(1.0 - result.on_time_rate)
+        assert result.goodput >= 0.0
+        assert 0.0 <= result.utilization <= 1.0 + 1e-12
+        assert result.horizon > 0.0
+        assert (
+            result.n_on_time + result.n_late + result.n_dropped + result.n_rejected
+            == result.n_jobs
+        )
+        # Shed jobs carry a NaN finish and drop out of the response mean.
+        for outcome in result.outcomes:
+            if outcome.status in ("dropped", "rejected"):
+                assert math.isnan(outcome.finish)
+                assert math.isnan(outcome.response)
+
+    def test_goodput_counts_only_on_time_work(self):
+        result = run_stream(build_workload(_tiny(load=2.0)), make_policy("prune"))
+        won = sum(o.work for o in result.outcomes if o.status == "on-time")
+        assert result.goodput == pytest.approx(won / result.horizon)
+
+    def test_same_workload_same_result(self):
+        workload = build_workload(_tiny(load=2.0))
+        a = run_stream(workload, make_policy("drop"))
+        b = run_stream(workload, make_policy("drop"))
+        assert a.drop_set == b.drop_set
+        assert a.horizon == b.horizon
+        assert a.busy_time == b.busy_time
+        for oa, ob in zip(a.outcomes, b.outcomes):
+            assert oa.status == ob.status
+            assert oa.finish == ob.finish or (
+                math.isnan(oa.finish) and math.isnan(ob.finish)
+            )
+
+    def test_pruning_sheds_under_heavy_load(self):
+        workload = build_workload(_tiny(load=4.0))
+        none = run_stream(workload)
+        prune = run_stream(workload, make_policy("prune"))
+        assert prune.n_dropped + prune.n_rejected > 0
+        assert prune.drop_set != ()
+        # Every pruned job's work is excluded from goodput but its
+        # started tasks still show up in busy_time: never negative.
+        assert prune.busy_time <= none.busy_time + 1e-9
+
+    def test_obs_counters_and_spans(self):
+        workload = build_workload(_tiny(load=3.0))
+        session = runtime.enable(InMemorySink())
+        try:
+            result = run_stream(workload, make_policy("prune"))
+            sink = session.sink
+            counters = session.registry.counters
+            assert counters["stream.arrivals"].value == workload.n_jobs
+            assert counters["stream.completions"].value == (
+                result.n_on_time + result.n_late
+            )
+            shed = counters["stream.prunes"].value + (
+                counters["stream.rejections"].value
+                if "stream.rejections" in counters
+                else 0
+            )
+            assert shed == result.n_dropped + result.n_rejected
+            run_spans = sink.spans("stream.run")
+            assert len(run_spans) == 1
+            assert run_spans[0]["attrs"]["policy"] == "prune"
+            assert run_spans[0]["attrs"]["load"] == 3.0
+            # One dispatch span per committed task.
+            n_committed = sum(o.n_done for o in result.outcomes)
+            assert len(sink.spans("stream.dispatch")) == n_committed
+            gauges = session.registry.gauges
+            assert gauges["stream.load"].value == 3.0
+            assert gauges["stream.on_time_rate"].value == pytest.approx(
+                result.on_time_rate
+            )
+        finally:
+            runtime.disable()
+
+    def test_drop_counter_named_after_the_dropping_policy(self):
+        workload = build_workload(_tiny(load=4.0))
+        session = runtime.enable(InMemorySink())
+        try:
+            result = run_stream(workload, make_policy("drop"))
+            counters = session.registry.counters
+            assert "stream.prunes" not in counters
+            if result.n_dropped:
+                assert counters["stream.drops"].value == result.n_dropped
+        finally:
+            runtime.disable()
