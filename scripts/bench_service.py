@@ -26,14 +26,26 @@ configuration makes ``ga_generations`` the generations-to-converge
 count, so the recorded ``mean_generations`` pair is the repeat-traffic
 saving, machine-checkable from the JSON.
 
+A ``sharding`` section measures the sharded deployment: the same
+uncached GA traffic is pushed through a :class:`Coordinator` with 1 and
+4 TCP shards (one OS process each, one GA slot per shard) from
+concurrent client connections.  The recorded ``speedup_1_to_4`` is the
+multi-node scaling headline; ``degraded`` must stay 0 (nothing was
+shed, the comparison is honest).
+
 Like ``scripts/bench_cluster.py`` this establishes a trajectory across
 PRs: run it before and after touching the service, protocol or cache
-paths and compare.
+paths and compare.  Extra top-level blocks in the JSON are always
+preserved; ``--baseline NAME`` additionally snapshots the *existing*
+file's sections into a new ``NAME`` block before the fresh numbers
+overwrite them, so a before/after pair survives in one file.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_service.py            # write JSON
     PYTHONPATH=src python scripts/bench_service.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_service.py \
+        --baseline baseline_pre_sharding   # archive current numbers first
 """
 
 from __future__ import annotations
@@ -52,7 +64,13 @@ import numpy as np
 from repro.core.problem import SchedulingProblem
 from repro.graph.generator import DagParams
 from repro.platform.uncertainty import UncertaintyParams
-from repro.service import SchedulerService, ServiceClient, ServiceConfig
+from repro.service import (
+    Coordinator,
+    CoordinatorConfig,
+    SchedulerService,
+    ServiceClient,
+    ServiceConfig,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -156,6 +174,141 @@ def bench_tier(workers: int, n_heft: int, n_ga: int) -> dict:
     return out
 
 
+class _ShardedServer:
+    """A coordinator + N TCP shard processes on a background thread."""
+
+    def __init__(self, shards: int) -> None:
+        self.coordinator = Coordinator(
+            CoordinatorConfig(
+                port=0,
+                shards=shards,
+                transport="tcp",
+                workers=1,
+                ga_queue_limit=256,
+            )
+        )
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            await self.coordinator.start()
+            self._ready.set()
+            await self.coordinator._shutdown_event.wait()
+            await asyncio.sleep(0.05)
+            await self.coordinator.aclose()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "_ShardedServer":
+        self._thread.start()
+        self._ready.wait(timeout=60)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        try:
+            with ServiceClient("127.0.0.1", self.coordinator.port) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        self._thread.join(timeout=60)
+
+
+def bench_sharding(
+    shard_counts: list[int], n_ga: int, concurrency: int
+) -> dict:
+    """Uncached-GA throughput through the coordinator at each shard count.
+
+    Every request is a distinct instance with ``warm_start=false``, so
+    each one is a genuine GA solve; ``concurrency`` client threads keep
+    the shards saturated.  Shedding would make the comparison dishonest,
+    so the per-shard queue limit is high and ``degraded`` is recorded
+    (and must be 0).
+    """
+    from repro.io import problem_to_dict
+
+    payloads = [problem_to_dict(_problem(SEED + 500 + i)) for i in range(n_ga)]
+    out: dict = {}
+    for shards in shard_counts:
+        with _ShardedServer(shards) as server:
+            port = server.coordinator.port
+            lock = threading.Lock()
+            pending = list(range(n_ga))
+            latencies: list[float] = []
+            degraded = 0
+
+            def worker() -> None:
+                nonlocal degraded
+                with ServiceClient("127.0.0.1", port, retry_s=5.0) as client:
+                    while True:
+                        with lock:
+                            if not pending:
+                                return
+                            index = pending.pop()
+                        t1 = time.perf_counter()
+                        response = client.solve(
+                            payloads[index],
+                            solver="ga",
+                            epsilon=1.2,
+                            seed=SEED,
+                            n_realizations=N_REALIZATIONS,
+                            ga=GA_OVERRIDES,
+                            warm_start=False,
+                        )
+                        dt = time.perf_counter() - t1
+                        with lock:
+                            latencies.append(dt)
+                            degraded += 1 if response.get("degraded") else 0
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(concurrency)
+            ]
+            t0 = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - t0
+            with ServiceClient("127.0.0.1", port) as client:
+                status = client.status()
+        lat = np.asarray(latencies)
+        out[str(shards)] = {
+            "n_requests": n_ga,
+            "concurrency": concurrency,
+            "seconds": round(elapsed, 3),
+            "req_per_second": round(n_ga / elapsed, 2),
+            "p50_ms": round(float(np.percentile(lat, 50)) * 1e3, 3),
+            "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 3),
+            "degraded": degraded,
+            "routing": {
+                key: status["routing"][key]
+                for key in ("home", "stolen", "failover")
+            },
+            "per_shard_routed": {
+                s["node_id"]: s["routed"] for s in status["shards"]
+            },
+        }
+    counts = sorted(int(k) for k in out)
+    low, high = str(counts[0]), str(counts[-1])
+    if low != high and out[low]["req_per_second"] > 0:
+        out[f"speedup_{low}_to_{high}"] = round(
+            out[high]["req_per_second"] / out[low]["req_per_second"], 2
+        )
+    cores = os.cpu_count() or 1
+    out["cpu_count"] = cores
+    if cores < counts[-1]:
+        # Shards are OS processes; scaling tops out at the core count.
+        # On a 1-core box the section still proves routing/stealing
+        # correctness (even per_shard_routed, zero degraded), but the
+        # speedup headline needs >= `shards` cores to mean anything.
+        out["note"] = (
+            f"only {cores} CPU core(s): {counts[-1]} shard processes "
+            "cannot exceed single-core GA throughput; speedup reflects "
+            "the hardware, not the deployment"
+        )
+    return out
+
+
 def bench_warm_start(n_problems: int = WARM_N_PROBLEMS) -> dict:
     """Repeat-traffic warm-start scenario (see module docstring).
 
@@ -225,6 +378,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--heft-requests", type=int, default=50)
     parser.add_argument("--ga-requests", type=int, default=8)
     parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 4],
+        help="shard counts for the sharded-deployment scenario "
+        "(default: 1 4; pass 0 to skip it)",
+    )
+    parser.add_argument("--shard-ga-requests", type=int, default=32)
+    parser.add_argument("--shard-concurrency", type=int, default=8)
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="before overwriting, snapshot the existing file's sections "
+        "into a top-level NAME block",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=REPO_ROOT / "BENCH_service.json",
@@ -241,6 +410,23 @@ def main(argv: list[str] | None = None) -> int:
                 f"{workers} worker(s) {name:14s}: {row['req_per_second']:8.2f} req/s  "
                 f"p50 {row['p50_ms']:8.2f} ms  p99 {row['p99_ms']:8.2f} ms"
             )
+
+    sharding = None
+    if args.shards and 0 not in args.shards:
+        sharding = bench_sharding(
+            args.shards, args.shard_ga_requests, args.shard_concurrency
+        )
+        for shards in sorted(int(k) for k in sharding if k.isdigit()):
+            row = sharding[str(shards)]
+            print(
+                f"{shards} shard(s) ga_uncached  : {row['req_per_second']:8.2f} req/s  "
+                f"p50 {row['p50_ms']:8.2f} ms  p99 {row['p99_ms']:8.2f} ms  "
+                f"({row['degraded']} degraded, "
+                f"{row['routing']['stolen']} stolen)"
+            )
+        for key, value in sharding.items():
+            if key.startswith("speedup"):
+                print(f"sharded scaling {key}: {value}x")
 
     warm = bench_warm_start()
     for mode in ("cold", "warm"):
@@ -266,15 +452,29 @@ def main(argv: list[str] | None = None) -> int:
             "seed": SEED,
         },
     }
+    if sharding is not None:
+        record["sharding"] = sharding
     if not args.no_write:
         # Preserve extra top-level sections so re-runs never lose history.
+        previous = {}
         if args.output.exists():
             try:
                 previous = json.loads(args.output.read_text())
             except (OSError, ValueError):
                 previous = {}
-            for key, value in previous.items():
-                record.setdefault(key, value)
+        if args.baseline:
+            if args.baseline in previous or args.baseline in record:
+                print(f"error: baseline block {args.baseline!r} already exists")
+                return 1
+            snapshot = {
+                key: previous[key]
+                for key in ("service", "warm_start", "sharding", "meta")
+                if key in previous
+            }
+            if snapshot:
+                record[args.baseline] = snapshot
+        for key, value in previous.items():
+            record.setdefault(key, value)
         args.output.write_text(json.dumps(record, indent=2) + "\n")
         print(f"wrote {args.output}")
     return 0

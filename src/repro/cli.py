@@ -9,6 +9,7 @@ Usage::
     python -m repro fig4 --scale smoke --trace run.jsonl
     python -m repro trace-summary run.jsonl         # inspect the trace
     python -m repro serve --port 8642 --workers 2   # scheduler service
+    python -m repro serve --port 8642 --shards 4    # sharded deployment
     python -m repro submit --port 8642 --solver ga --epsilon 1.2
     python -m repro faults --scenario proc-failure  # fault injection
     python -m repro stream --load 1.5 --policy prune  # streaming workload
@@ -420,6 +421,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache budget in MiB (default: 64)",
     )
     serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="scheduler-worker shards; >1 runs the sharded deployment "
+        "(a coordinator consistent-hashes requests across the shards; "
+        "default: 1, the classic single-node daemon)",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("inproc", "tcp"),
+        default="tcp",
+        help="shard transport when --shards > 1: 'tcp' forks one OS "
+        "process per shard (real parallelism), 'inproc' keeps them in "
+        "the coordinator's event loop (default: tcp)",
+    )
+    serve.add_argument(
+        "--steal-margin",
+        type=_positive_int,
+        default=1,
+        help="sharded only: GA backlog difference before work stealing "
+        "kicks in (default: 1)",
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress lifecycle output"
     )
     _trace_arg(serve)
@@ -795,6 +819,7 @@ def _run_stream(args: argparse.Namespace) -> str:
 def _run_serve(args: argparse.Namespace) -> str:
     import asyncio
 
+    from repro.service.coordinator import Coordinator, CoordinatorConfig
     from repro.service.server import SchedulerService, ServiceConfig
 
     if args.port < 0:
@@ -803,31 +828,58 @@ def _run_serve(args: argparse.Namespace) -> str:
         raise SystemExit(
             f"--ga-queue-limit must be >= 0, got {args.ga_queue_limit}"
         )
-    config = ServiceConfig(
-        host=args.host,
-        port=args.port,
-        workers=args.workers,
-        ga_queue_limit=args.ga_queue_limit,
-        admission_mode=args.admission,
-        stream_threshold=args.stream_threshold,
-        cache_bytes=int(args.cache_mb * 1024 * 1024),
-    )
     progress = None
     if not args.quiet:
         progress = lambda msg: print(f"[serve] {msg}", file=sys.stderr)  # noqa: E731
-    service = SchedulerService(config, progress=progress)
+    if args.shards > 1:
+        service = Coordinator(
+            CoordinatorConfig(
+                host=args.host,
+                port=args.port,
+                shards=args.shards,
+                transport=args.transport,
+                workers=args.workers,
+                ga_queue_limit=args.ga_queue_limit,
+                admission_mode=args.admission,
+                stream_threshold=args.stream_threshold,
+                cache_bytes=int(args.cache_mb * 1024 * 1024),
+                steal_margin=args.steal_margin,
+            ),
+            progress=progress,
+        )
+    else:
+        service = SchedulerService(
+            ServiceConfig(
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                ga_queue_limit=args.ga_queue_limit,
+                admission_mode=args.admission,
+                stream_threshold=args.stream_threshold,
+                cache_bytes=int(args.cache_mb * 1024 * 1024),
+            ),
+            progress=progress,
+        )
     try:
         asyncio.run(service.run())
     except KeyboardInterrupt:
         pass
     counters = service.counters
     cache = service.cache.stats()
-    return (
+    summary = (
         f"served {counters['requests']} requests "
         f"({counters['solve']} solves, {counters['degraded']} degraded, "
         f"{counters['coalesced']} coalesced); "
         f"cache {cache['hits']} hits / {cache['misses']} misses"
     )
+    if args.shards > 1:
+        summary += (
+            f"; routed {counters['routed_home']} home / "
+            f"{counters['routed_stolen']} stolen / "
+            f"{counters['routed_failover']} failover "
+            f"({counters['shard_restarts']} shard restarts)"
+        )
+    return summary
 
 
 def _run_submit(args: argparse.Namespace) -> str:

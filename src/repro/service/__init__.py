@@ -16,7 +16,14 @@ load.  Its moving parts:
 * :mod:`repro.service.solvers` — the deterministic execution layer
   (service responses are bit-identical to direct API calls);
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
-  asyncio daemon and its blocking client.
+  asyncio daemon and its blocking client;
+* :mod:`repro.service.comm` — the pluggable transport layer
+  (``tcp://`` and ``inproc://``) every endpoint speaks through;
+* :mod:`repro.service.coordinator` / :mod:`repro.service.shard` /
+  :mod:`repro.service.sharding` — the sharded multi-node deployment:
+  a coordinator consistent-hashes requests across N scheduler-worker
+  shards with work stealing, a replicated cache tier and shard
+  supervision (``repro serve --shards N``).
 
 See ``docs/service.md`` for the protocol specification, the overload
 semantics and an example session.
@@ -29,12 +36,14 @@ from repro.service.admission import (
 )
 from repro.service.cache import ResultCache, cache_key
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.coordinator import Coordinator, CoordinatorConfig
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     SOLVERS,
     ProtocolError,
 )
 from repro.service.server import SchedulerService, ServiceConfig
+from repro.service.shard import ShardServer
 from repro.service.solvers import execute_payload
 
 __all__ = [
@@ -50,5 +59,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceClient",
     "ServiceError",
+    "Coordinator",
+    "CoordinatorConfig",
+    "ShardServer",
     "execute_payload",
 ]

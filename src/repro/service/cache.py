@@ -81,7 +81,20 @@ class ResultCache:
 
     def put(self, key: str, payload: dict[str, Any]) -> bool:
         """Store *payload* under *key*; returns whether it was kept."""
-        size = len(json.dumps(payload, allow_nan=False, separators=(",", ":")))
+        # Account encoded *bytes*, not code points: a non-ASCII payload
+        # (problem names, error text) stores larger than len() of its
+        # text suggests.  ensure_ascii=False + encode measures the
+        # canonical UTF-8 size of the JSON document — what a persistent
+        # tier would actually hold — instead of counting characters of
+        # an escape-inflated ASCII rendering.
+        size = len(
+            json.dumps(
+                payload,
+                allow_nan=False,
+                ensure_ascii=False,
+                separators=(",", ":"),
+            ).encode("utf-8")
+        )
         with self._lock:
             if size > self.max_bytes:
                 return False

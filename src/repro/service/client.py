@@ -81,24 +81,54 @@ class ServiceClient:
                     raise
                 time.sleep(0.05)
         self._file = self._sock.makefile("rwb")
+        self._broken = False
 
     # ------------------------------------------------------------- transport
 
     def request(self, message: dict[str, Any]) -> dict[str, Any]:
-        """Send one raw request dict and return the raw response dict."""
-        self._file.write(encode(message))
-        self._file.flush()
-        line = self._file.readline()
+        """Send one raw request dict and return the raw response dict.
+
+        After a transport error — most importantly a socket timeout —
+        the connection is marked **broken** and every further request
+        fails fast with :class:`ConnectionError`: a timed-out request's
+        response may still arrive later, and reading it as the answer to
+        the *next* request would silently desynchronize the stream.
+        Reconnect with a fresh client instead.
+        """
+        if self._broken:
+            raise ConnectionError(
+                "connection is broken after an earlier transport error; "
+                "responses would be out of sync — open a new ServiceClient"
+            )
+        try:
+            self._file.write(encode(message))
+            self._file.flush()
+            line = self._file.readline()
+        except (socket.timeout, OSError):
+            self._broken = True
+            raise
         if not line:
+            self._broken = True
             raise ConnectionError("server closed the connection")
         return decode(line)
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (idempotent, exception-safe).
+
+        Closing the buffered file flushes it, which can raise (e.g.
+        ``BrokenPipeError`` when the server is gone); ``close`` swallows
+        transport errors so cleanup paths — ``with`` blocks unwinding an
+        exception — never raise a second time.
+        """
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -1,0 +1,57 @@
+"""repro.service.comm — pluggable transports for the service fabric.
+
+A transport-agnostic connector/listener pair in the spirit of dask
+``distributed``'s comm layer: the same coordinator and shard logic runs
+over an in-process channel (tests, doctests, single-process topologies)
+or over TCP (real deployments) by changing nothing but an address
+string.
+
+Addresses are URIs whose scheme picks the backend:
+
+* ``tcp://host:port`` — JSON lines over an asyncio TCP stream (port
+  ``0`` binds an ephemeral port, readable from ``Listener.port``);
+* ``inproc://name`` — an in-memory frame channel inside one event loop.
+
+Both transports share one framing layer (:mod:`repro.service.comm.framing`):
+a frame is a newline-terminated strict-JSON message, byte-identical to
+the client-facing wire protocol of :mod:`repro.service.protocol` — which
+is why a plain ``ServiceClient`` socket can talk to a TCP listener
+created here.
+
+Usage::
+
+    listener = await listen("tcp://127.0.0.1:0", handler)   # handler(comm)
+    comm = await connect(f"tcp://127.0.0.1:{listener.port}")
+    await comm.send({"op": "ping"})
+    reply = await comm.recv()
+"""
+
+from repro.service.comm.core import (
+    Comm,
+    CommClosedError,
+    CommError,
+    FrameTooLargeError,
+    Listener,
+    connect,
+    listen,
+    parse_address,
+)
+from repro.service.comm.framing import (
+    DEFAULT_MAX_FRAME,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "Comm",
+    "CommClosedError",
+    "CommError",
+    "FrameTooLargeError",
+    "Listener",
+    "connect",
+    "listen",
+    "parse_address",
+    "DEFAULT_MAX_FRAME",
+    "encode_frame",
+    "decode_frame",
+]

@@ -1,0 +1,179 @@
+"""Abstract Comm/Listener plus the scheme-dispatching connect/listen.
+
+The shape follows dask ``distributed``'s comm core: a :class:`Comm` is
+one established bidirectional message channel, a :class:`Listener`
+accepts inbound channels and hands each to an async handler, and the
+module-level :func:`connect` / :func:`listen` pick the backend from the
+address scheme.  Backends register themselves in :data:`BACKENDS`;
+``tcp`` and ``inproc`` ship in this package.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Awaitable, Callable
+
+from repro.service.comm.framing import (
+    DEFAULT_MAX_FRAME,
+    decode_frame,
+    encode_frame,
+)
+
+__all__ = [
+    "CommError",
+    "CommClosedError",
+    "FrameTooLargeError",
+    "Comm",
+    "Listener",
+    "parse_address",
+    "connect",
+    "listen",
+    "BACKENDS",
+]
+
+
+class CommError(Exception):
+    """Base class for transport failures."""
+
+
+class CommClosedError(CommError):
+    """The peer closed (or the transport lost) the channel."""
+
+
+class FrameTooLargeError(CommError):
+    """A frame exceeded the channel's size limit.
+
+    The channel cannot be resynchronized mid-frame, so the only clean
+    continuation is to answer with a protocol error and close.
+    """
+
+
+class Comm(abc.ABC):
+    """One established message channel (a connected peer pair).
+
+    Subclasses implement the byte-frame primitives; the dict-level
+    :meth:`send` / :meth:`recv` ride on the shared framing layer so
+    every transport speaks the identical wire format.
+    """
+
+    local_address: str
+    remote_address: str
+
+    @abc.abstractmethod
+    async def read_frame(self) -> bytes:
+        """One raw frame (newline-terminated JSON line).
+
+        Raises :class:`CommClosedError` on EOF/transport loss and
+        :class:`FrameTooLargeError` on an over-limit frame.
+        """
+
+    @abc.abstractmethod
+    async def write_frame(self, frame: bytes) -> None:
+        """Send one pre-encoded frame (raises :class:`CommClosedError`)."""
+
+    @abc.abstractmethod
+    async def aclose(self) -> None:
+        """Close the channel (idempotent; the peer sees EOF)."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        """Whether this side has been closed."""
+
+    async def send(self, message: dict[str, Any]) -> None:
+        """Encode and send one message dict."""
+        await self.write_frame(encode_frame(message))
+
+    async def recv(self) -> dict[str, Any]:
+        """Receive and decode one message dict (raises ProtocolError on
+        malformed JSON, comm errors as in :meth:`read_frame`)."""
+        return decode_frame(await self.read_frame())
+
+
+class Listener(abc.ABC):
+    """An accepting endpoint; each inbound comm is passed to the handler."""
+
+    address: str
+
+    @property
+    def port(self) -> int | None:
+        """Bound TCP port, or ``None`` for non-socket transports."""
+        return None
+
+    @abc.abstractmethod
+    async def aclose(self) -> None:
+        """Stop accepting new comms (established ones live on)."""
+
+
+def parse_address(address: str) -> tuple[str, str]:
+    """Split ``scheme://rest`` and validate the scheme is registered."""
+    scheme, sep, rest = address.partition("://")
+    if not sep or not scheme or not rest:
+        raise CommError(
+            f"malformed address {address!r}; expected 'scheme://...' "
+            f"with scheme in {sorted(BACKENDS)}"
+        )
+    if scheme not in BACKENDS:
+        raise CommError(
+            f"unknown transport {scheme!r} in {address!r}; "
+            f"registered: {sorted(BACKENDS)}"
+        )
+    return scheme, rest
+
+
+async def connect(
+    address: str,
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+    timeout: float | None = 10.0,
+) -> Comm:
+    """Open a comm to the listener at *address* (scheme picks the backend)."""
+    scheme, rest = parse_address(address)
+    return await BACKENDS[scheme].connect(rest, max_frame=max_frame, timeout=timeout)
+
+
+async def listen(
+    address: str,
+    handler: Callable[[Comm], Awaitable[None]],
+    *,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> Listener:
+    """Start accepting comms at *address*; *handler(comm)* runs per peer."""
+    scheme, rest = parse_address(address)
+    return await BACKENDS[scheme].listen(rest, handler, max_frame=max_frame)
+
+
+def _backends() -> dict:
+    # Imported lazily at module bottom to dodge the circular import
+    # (backends subclass Comm/Listener from this module).
+    from repro.service.comm import inproc, tcp
+
+    return {"tcp": tcp.TCPBackend, "inproc": inproc.InprocBackend}
+
+
+class _LazyBackends(dict):
+    """Scheme registry that populates itself on first use."""
+
+    def _ensure(self) -> None:
+        if not super().__len__():
+            super().update(_backends())
+
+    def __contains__(self, key) -> bool:  # pragma: no cover - trivial
+        self._ensure()
+        return super().__contains__(key)
+
+    def __getitem__(self, key):
+        self._ensure()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._ensure()
+        return super().__iter__()
+
+    def __len__(self) -> int:
+        self._ensure()
+        return super().__len__()
+
+
+#: Scheme -> backend class (``connect``/``listen`` classmethods).
+BACKENDS: dict = _LazyBackends()

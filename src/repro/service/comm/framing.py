@@ -1,0 +1,72 @@
+"""The one framing layer every transport shares.
+
+A frame is a newline-terminated strict-JSON object encoded as UTF-8 —
+exactly the client-facing wire format of :mod:`repro.service.protocol`
+(that module owns the encode/decode semantics; this one adds the frame
+size policy and the stream-reassembly helper the byte-stream transports
+use).  Keeping a single framing layer is what makes the transports
+interchangeable: a message framed for the in-process channel is
+byte-identical to the same message on a TCP socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.service.protocol import decode, encode
+
+__all__ = [
+    "DEFAULT_MAX_FRAME",
+    "encode_frame",
+    "decode_frame",
+    "read_stream_frame",
+]
+
+#: Problem payloads and reports are single JSON lines; the asyncio
+#: default of 64 KiB is far too small for paper-scale instances.  This
+#: mirrors the pre-comm server's StreamReader limit.
+DEFAULT_MAX_FRAME = 16 * 1024 * 1024
+
+
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One message as a newline-terminated strict-JSON frame."""
+    return encode(message)
+
+
+def decode_frame(frame: bytes | str) -> dict[str, Any]:
+    """Parse one frame back into a message dict (raises ProtocolError)."""
+    return decode(frame)
+
+
+async def read_stream_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame from a byte stream; raise typed comm errors.
+
+    ``StreamReader.readline`` signals an over-limit line either as
+    ``LimitOverrunError`` (from ``readuntil``) or — the documented
+    ``readline`` behaviour — wrapped in a plain ``ValueError``.  Both
+    must map to :class:`FrameTooLargeError` so the caller can answer
+    with a clean protocol error instead of letting the exception escape
+    the connection handler (the pre-comm server only caught the former,
+    which is the bug this layer fixes).
+    """
+    from repro.service.comm.core import CommClosedError, FrameTooLargeError
+
+    try:
+        line = await reader.readline()
+    except asyncio.LimitOverrunError as exc:
+        raise FrameTooLargeError(
+            f"incoming frame exceeds the size limit: {exc}"
+        ) from exc
+    except ValueError as exc:
+        # readline wraps LimitOverrunError in ValueError; any other
+        # ValueError from the stream machinery is equally unrecoverable
+        # mid-line, so it gets the same clean protocol treatment.
+        raise FrameTooLargeError(
+            f"incoming frame exceeds the size limit: {exc}"
+        ) from exc
+    except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+        raise CommClosedError(f"connection lost: {exc}") from exc
+    if not line:
+        raise CommClosedError("connection closed by peer")
+    return line

@@ -1,0 +1,160 @@
+"""In-process transport: frame queues inside one event loop.
+
+The test/doctest twin of the TCP transport (cf. dask ``distributed``'s
+``inproc``): connecting to ``inproc://name`` pairs two comms backed by
+crossed asyncio queues and hands the server side to the listener's
+handler.  Frames are the same encoded bytes the TCP transport would put
+on a socket — the shared framing layer is exercised, only the byte
+shuttling differs — so anything proven over inproc holds over TCP.
+
+Channels live inside a single event loop; connecting from a different
+loop than the listener's is an error, not a deadlock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.service.comm.core import (
+    Comm,
+    CommClosedError,
+    CommError,
+    FrameTooLargeError,
+    Listener,
+)
+from repro.service.comm.framing import DEFAULT_MAX_FRAME
+
+__all__ = ["InprocComm", "InprocListener", "InprocBackend"]
+
+#: Close sentinel travelling through the frame queues.
+_CLOSE = object()
+
+#: Global name -> listener registry (listeners unregister on aclose).
+_LISTENERS: dict[str, "InprocListener"] = {}
+
+
+class InprocComm(Comm):
+    """One side of a paired in-memory channel."""
+
+    def __init__(
+        self, send_q: asyncio.Queue, recv_q: asyncio.Queue,
+        local_address: str, remote_address: str,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._send_q = send_q
+        self._recv_q = recv_q
+        self.local_address = local_address
+        self.remote_address = remote_address
+        self.max_frame = max_frame
+        self._closed = False
+        self._peer_closed = False
+
+    async def read_frame(self) -> bytes:
+        """Take the next frame off the queue; EOF raises CommClosedError."""
+        if self._closed:
+            raise CommClosedError("comm is closed")
+        if self._peer_closed and self._recv_q.empty():
+            raise CommClosedError("connection closed by peer")
+        frame = await self._recv_q.get()
+        if frame is _CLOSE:
+            self._peer_closed = True
+            raise CommClosedError("connection closed by peer")
+        return frame
+
+    async def write_frame(self, frame: bytes) -> None:
+        """Queue ``frame`` for the peer, enforcing ``max_frame``."""
+        if self._closed:
+            raise CommClosedError("comm is closed")
+        if self._peer_closed:
+            raise CommClosedError("peer has closed the connection")
+        if len(frame) > self.max_frame:
+            raise FrameTooLargeError(
+                f"outgoing frame of {len(frame)} bytes exceeds the "
+                f"{self.max_frame} byte limit"
+            )
+        self._send_q.put_nowait(frame)
+
+    async def aclose(self) -> None:
+        """Close this side; the peer sees EOF (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # Wake a peer blocked in read_frame with EOF semantics.
+        self._send_q.put_nowait(_CLOSE)
+
+    @property
+    def closed(self) -> bool:
+        """Whether this side has been closed locally."""
+        return self._closed
+
+
+class InprocListener(Listener):
+    """A named in-process accept point."""
+
+    def __init__(
+        self, name: str, handler: Callable[[Comm], Awaitable[None]],
+        max_frame: int,
+    ) -> None:
+        self.name = name
+        self.address = f"inproc://{name}"
+        self._handler = handler
+        self._max_frame = max_frame
+        self._loop = asyncio.get_running_loop()
+        self._tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    def _accept(self) -> InprocComm:
+        if self._closed:
+            raise CommError(f"listener {self.address} is closed")
+        if asyncio.get_running_loop() is not self._loop:
+            raise CommError(
+                f"inproc comm to {self.address} must be opened from the "
+                "listener's event loop"
+            )
+        a_to_b: asyncio.Queue = asyncio.Queue()
+        b_to_a: asyncio.Queue = asyncio.Queue()
+        client = InprocComm(
+            a_to_b, b_to_a, f"{self.address}#client", self.address,
+            max_frame=self._max_frame,
+        )
+        server = InprocComm(
+            b_to_a, a_to_b, self.address, f"{self.address}#client",
+            max_frame=self._max_frame,
+        )
+        task = self._loop.create_task(self._handler(server))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return client
+
+    async def aclose(self) -> None:
+        """Unregister the name; existing channels stay usable."""
+        self._closed = True
+        if _LISTENERS.get(self.name) is self:
+            del _LISTENERS[self.name]
+
+
+class InprocBackend:
+    """Transport backend wiring ``inproc://`` into connect/listen."""
+
+    @staticmethod
+    async def connect(
+        rest: str, *, max_frame: int = DEFAULT_MAX_FRAME,
+        timeout: float | None = 10.0,
+    ) -> InprocComm:
+        listener = _LISTENERS.get(rest)
+        if listener is None:
+            raise CommError(f"no inproc listener named {rest!r}")
+        return listener._accept()
+
+    @staticmethod
+    async def listen(
+        rest: str, handler: Callable[[Comm], Awaitable[None]],
+        *, max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> InprocListener:
+        existing = _LISTENERS.get(rest)
+        if existing is not None and not existing._closed:
+            raise CommError(f"inproc listener {rest!r} already exists")
+        listener = InprocListener(rest, handler, max_frame)
+        _LISTENERS[rest] = listener
+        return listener

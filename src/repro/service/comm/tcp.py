@@ -1,0 +1,156 @@
+"""TCP transport: JSON-line frames over asyncio streams.
+
+This is byte-for-byte the pre-comm server's wire behaviour — a
+newline-terminated strict-JSON message per frame, a 16 MiB line limit —
+lifted into the comm abstraction so the same listener serves external
+``ServiceClient`` sockets and internal coordinator↔shard links.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable
+
+from repro.service.comm.core import (
+    Comm,
+    CommClosedError,
+    CommError,
+    FrameTooLargeError,
+    Listener,
+)
+from repro.service.comm.framing import DEFAULT_MAX_FRAME, read_stream_frame
+
+__all__ = ["TCPComm", "TCPListener", "TCPBackend"]
+
+
+def _split_host_port(rest: str) -> tuple[str, int]:
+    host, sep, port = rest.rpartition(":")
+    if not sep:
+        raise CommError(f"tcp address needs 'host:port', got {rest!r}")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise CommError(f"invalid tcp port in {rest!r}") from exc
+
+
+def _peer(writer: asyncio.StreamWriter) -> str:
+    peer = writer.get_extra_info("peername")
+    if isinstance(peer, tuple) and len(peer) >= 2:
+        return f"tcp://{peer[0]}:{peer[1]}"
+    return "tcp://?"
+
+
+def _sock(writer: asyncio.StreamWriter) -> str:
+    name = writer.get_extra_info("sockname")
+    if isinstance(name, tuple) and len(name) >= 2:
+        return f"tcp://{name[0]}:{name[1]}"
+    return "tcp://?"
+
+
+class TCPComm(Comm):
+    """One established TCP channel (reader/writer pair)."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.max_frame = max_frame
+        self._closed = False
+        self.local_address = _sock(writer)
+        self.remote_address = _peer(writer)
+
+    async def read_frame(self) -> bytes:
+        """Read one line-delimited frame; EOF raises CommClosedError."""
+        if self._closed:
+            raise CommClosedError("comm is closed")
+        return await read_stream_frame(self._reader)
+
+    async def write_frame(self, frame: bytes) -> None:
+        """Write ``frame`` and drain, enforcing ``max_frame``."""
+        if self._closed:
+            raise CommClosedError("comm is closed")
+        if len(frame) > self.max_frame:
+            raise FrameTooLargeError(
+                f"outgoing frame of {len(frame)} bytes exceeds the "
+                f"{self.max_frame} byte limit"
+            )
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            raise CommClosedError(f"connection lost: {exc}") from exc
+
+    async def aclose(self) -> None:
+        """Close the socket, swallowing teardown races (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    @property
+    def closed(self) -> bool:
+        """Whether this side has been closed locally."""
+        return self._closed
+
+
+class TCPListener(Listener):
+    """Accepting TCP socket; one handler task per connection."""
+
+    def __init__(self, server: asyncio.AbstractServer, host: str) -> None:
+        self._server = server
+        self._port = server.sockets[0].getsockname()[1]
+        self.address = f"tcp://{host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        """The concrete bound port (resolves a requested port 0)."""
+        return self._port
+
+    async def aclose(self) -> None:
+        """Stop accepting; existing connections stay open."""
+        self._server.close()
+        await self._server.wait_closed()
+
+
+class TCPBackend:
+    """Transport backend wiring ``tcp://`` into connect/listen."""
+
+    @staticmethod
+    async def connect(
+        rest: str, *, max_frame: int = DEFAULT_MAX_FRAME,
+        timeout: float | None = 10.0,
+    ) -> TCPComm:
+        host, port = _split_host_port(rest)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port, limit=max_frame),
+                timeout=timeout,
+            )
+        except asyncio.TimeoutError as exc:
+            raise CommError(f"timed out connecting to tcp://{rest}") from exc
+        except OSError as exc:
+            raise CommError(f"cannot connect to tcp://{rest}: {exc}") from exc
+        return TCPComm(reader, writer, max_frame=max_frame)
+
+    @staticmethod
+    async def listen(
+        rest: str, handler: Callable[[Comm], Awaitable[None]],
+        *, max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> TCPListener:
+        host, port = _split_host_port(rest)
+
+        async def on_connection(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            await handler(TCPComm(reader, writer, max_frame=max_frame))
+
+        server = await asyncio.start_server(
+            on_connection, host, port, limit=max_frame
+        )
+        return TCPListener(server, host)

@@ -207,6 +207,20 @@ def normalize_request(message: dict[str, Any]) -> dict[str, Any]:
         raise ProtocolError(
             "bad-request", f"warm_start must be a boolean, got {warm_start!r}"
         )
+    # Explicit seed chromosomes (additive in protocol 1).  Normally
+    # injected server-side from the warm-start store, but they are a
+    # legal wire field: the coordinator forwards warm-started payloads
+    # to shards through this same normalization, and a client may pin
+    # seeds directly (they are digested into the cache identity).
+    warm_seeds = message.get("warm_seeds") or []
+    if not isinstance(warm_seeds, list) or not all(
+        isinstance(s, dict) and "order" in s and "proc_of" in s
+        for s in warm_seeds
+    ):
+        raise ProtocolError(
+            "bad-request",
+            "warm_seeds must be a list of {order, proc_of} objects",
+        )
     ga = message.get("ga") or {}
     if not isinstance(ga, dict):
         raise ProtocolError("bad-request", "'ga' must be an object of overrides")
@@ -233,4 +247,6 @@ def normalize_request(message: dict[str, Any]) -> dict[str, Any]:
         warm_start=warm_start,
         ga={k: ga[k] for k in sorted(ga)},
     )
+    if warm_seeds:
+        request["warm_seeds"] = warm_seeds
     return request

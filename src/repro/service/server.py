@@ -40,12 +40,18 @@ from repro.io.json_io import problem_fingerprint, problem_from_dict
 from repro.obs import runtime as obs
 from repro.service.admission import ADMISSION_MODES, AdmissionController
 from repro.service.cache import ResultCache, cache_key
+from repro.service.comm import (
+    Comm,
+    CommClosedError,
+    DEFAULT_MAX_FRAME,
+    FrameTooLargeError,
+)
+from repro.service.comm import listen as comm_listen
 from repro.service.warmstart import WarmStartStore
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     decode,
-    encode,
     error_response,
     normalize_request,
     ok_response,
@@ -86,6 +92,22 @@ class ServiceConfig:
         Thread-pool width for the heuristic tier.
     drain_timeout:
         Seconds ``shutdown`` waits for in-flight requests.
+    listen:
+        Explicit comm address (``tcp://host:port`` or ``inproc://name``)
+        overriding ``host``/``port``.  This is how a shard serves over
+        the in-process transport; the default is the classic TCP bind.
+    node_id:
+        Identity stamped into spans/gauges and the ``status`` payload
+        when this service runs as a shard.  Empty for the plain
+        single-node daemon (keeping its telemetry names unchanged).
+    max_line_bytes:
+        Per-frame byte limit on every connection.  An over-limit request
+        line is answered with a clean ``bad-request`` error before the
+        connection closes (it cannot be resynchronized mid-frame).
+    warm_start_enabled:
+        Whether this node consults/feeds the warm-start store.  Shards
+        disable it — the coordinator owns warm starts so sharded
+        responses stay bit-identical to the single-node path.
     """
 
     host: str = "127.0.0.1"
@@ -97,10 +119,18 @@ class ServiceConfig:
     cache_bytes: int = 64 * 1024 * 1024
     fast_threads: int = 4
     drain_timeout: float = 30.0
+    listen: str | None = None
+    node_id: str = ""
+    max_line_bytes: int = DEFAULT_MAX_FRAME
+    warm_start_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_line_bytes < 1024:
+            raise ValueError(
+                f"max_line_bytes must be >= 1024, got {self.max_line_bytes}"
+            )
         if self.admission_mode not in ADMISSION_MODES:
             raise ValueError(
                 f"unknown admission mode {self.admission_mode!r}; "
@@ -247,17 +277,29 @@ class SchedulerService:
         self._active = 0
         self._draining = False
         self._started = time.monotonic()
-        self._server: asyncio.AbstractServer | None = None
+        self._listener = None
         self._backend: _GaBackend | None = None
         self._fast_executor: concurrent.futures.ThreadPoolExecutor | None = None
         self._shutdown_event: asyncio.Event | None = None
         self._conn_tasks: set[asyncio.Task] = set()
-        self._conn_writers: set[asyncio.StreamWriter] = set()
+        self._conns: set[Comm] = set()
+        # Telemetry names stay unchanged on the classic single node; a
+        # shard suffixes its node id so per-shard gauges don't collide.
+        self._gauge_suffix = (
+            f".{self.config.node_id}" if self.config.node_id else ""
+        )
+
+    @property
+    def listen_address(self) -> str:
+        """The comm address this service serves (or would serve) on."""
+        if self._listener is not None:
+            return self._listener.address
+        return self.config.listen or f"tcp://{self.config.host}:{self.config.port}"
 
     # --------------------------------------------------------------- lifecycle
 
     async def start(self) -> None:
-        """Bind the socket and start the GA backend."""
+        """Bind the listener and start the GA backend."""
         loop = asyncio.get_running_loop()
         self._shutdown_event = asyncio.Event()
         self._fast_executor = concurrent.futures.ThreadPoolExecutor(
@@ -266,18 +308,15 @@ class SchedulerService:
         )
         self._backend = _GaBackend(loop, self.config.workers)
         self._backend.start()
-        # Problem payloads and reports are single JSON lines; the default
-        # 64 KiB StreamReader limit is too small for paper-scale instances.
-        self._server = await asyncio.start_server(
-            self._handle_client,
-            self.config.host,
-            self.config.port,
-            limit=16 * 1024 * 1024,
+        self._listener = await comm_listen(
+            self.listen_address,
+            self._handle_comm,
+            max_frame=self.config.max_line_bytes,
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = self._listener.port
         self._started = time.monotonic()
         self._log(
-            f"listening on {self.config.host}:{self.port} "
+            f"listening on {self._listener.address} "
             f"(workers={self.config.workers}, "
             f"ga_queue_limit={self.config.ga_queue_limit})"
         )
@@ -296,20 +335,16 @@ class SchedulerService:
 
     async def aclose(self) -> None:
         """Stop accepting connections and release every resource."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        # Established connections are not closed by Server.close().  Close
-        # their transports so each handler unblocks with EOF and finishes
-        # on its own (cancelling the tasks instead trips a noisy
+        if self._listener is not None:
+            await self._listener.aclose()
+            self._listener = None
+        # Established connections are not closed by the listener.  Close
+        # their comms so each handler unblocks with EOF and finishes on
+        # its own (cancelling the tasks instead trips a noisy
         # StreamReaderProtocol callback on CPython 3.11), then cancel any
         # straggler as a last resort.
-        for writer in list(self._conn_writers):
-            try:
-                writer.close()
-            except OSError:
-                pass
+        for comm in list(self._conns):
+            await comm.aclose()
         if self._conn_tasks:
             _, stragglers = await asyncio.wait(
                 list(self._conn_tasks), timeout=5.0
@@ -319,7 +354,7 @@ class SchedulerService:
             if stragglers:
                 await asyncio.gather(*stragglers, return_exceptions=True)
             self._conn_tasks.clear()
-        self._conn_writers.clear()
+        self._conns.clear()
         if self._backend is not None:
             self._backend.stop()
             self._backend = None
@@ -334,38 +369,48 @@ class SchedulerService:
 
     # ------------------------------------------------------------- connections
 
-    async def _handle_client(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
+    async def _handle_comm(self, comm: Comm) -> None:
+        """Serve one connection: requests in order, one response each."""
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
-        self._conn_writers.add(writer)
+        self._conns.add(comm)
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ConnectionResetError, asyncio.LimitOverrunError):
+                    line = await comm.read_frame()
+                except FrameTooLargeError:
+                    # The channel cannot be resynchronized mid-frame:
+                    # answer with a clean protocol error, then close.
+                    self.counters["errors"] += 1
+                    obs.add("service.errors")
+                    try:
+                        await comm.send(
+                            error_response(
+                                None,
+                                "bad-request",
+                                "request line exceeds the "
+                                f"{self.config.max_line_bytes} byte limit; "
+                                "closing the connection",
+                            )
+                        )
+                    except (CommClosedError, FrameTooLargeError):
+                        pass
                     break
-                if not line:
+                except CommClosedError:
                     break
                 if not line.strip():
                     continue
                 response = await self._respond(line)
                 try:
-                    writer.write(encode(response))
-                    await writer.drain()
-                except (ConnectionResetError, BrokenPipeError):
+                    await comm.send(response)
+                except CommClosedError:
                     break
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
-            self._conn_writers.discard(writer)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
-                pass
+            self._conns.discard(comm)
+            await comm.aclose()
 
     async def _respond(self, line: bytes) -> dict[str, Any]:
         self.counters["requests"] += 1
@@ -380,7 +425,10 @@ class SchedulerService:
         request_id = request.get("id")
         self._active += 1
         try:
-            with obs.trace("service.request", op=op) as span:
+            attrs = {"op": op}
+            if self.config.node_id:
+                attrs["node"] = self.config.node_id
+            with obs.trace("service.request", **attrs) as span:
                 if op == "ping":
                     self.counters["ping"] += 1
                     return ok_response(request_id, op="ping")
@@ -440,23 +488,9 @@ class SchedulerService:
             request = dict(request, solver="heft")
         span.set(solver=request["solver"], tier=decision.tier)
 
-        # Warm starts: seed a GA run from near-match solved problems.
-        # The seeds become part of the request payload *before* the cache
-        # key is formed, so identical (problem, params, seeds) requests
-        # share one entry and the response stays reproducible.
-        features = None
-        warm_seeds_count = 0
-        if request["solver"] == "ga" and request.get("warm_start", True):
-            features = problem_features(problem)
-            seeds = self.warm_store.suggest(problem.n, problem.m, features)
-            if seeds:
-                self.counters["warm_start_hits"] += 1
-                obs.add("service.warm_start_hit")
-                request = dict(request, warm_seeds=seeds)
-                warm_seeds_count = len(seeds)
-            else:
-                self.counters["warm_start_misses"] += 1
-                obs.add("service.warm_start_miss")
+        request, features, warm_seeds_count = self._apply_warm_start(
+            request, problem
+        )
 
         key = cache_key(
             fingerprint, request["solver"], **solve_params(request)
@@ -465,21 +499,7 @@ class SchedulerService:
             key, request, decision.tier
         )
 
-        # Feed the store with the run's best chromosome so later
-        # near-match requests start from it (cache hits re-record to
-        # refresh the entry's eviction age).
-        chromosome = core.get("ga_chromosome")
-        if chromosome is not None:
-            if features is None:
-                features = problem_features(problem)
-            self.warm_store.record(
-                problem.n,
-                problem.m,
-                fingerprint,
-                features,
-                chromosome["order"],
-                chromosome["proc_of"],
-            )
+        self._record_warm_start(core, problem, fingerprint, features)
         span.set(cached=cached, degraded=degraded)
         if cached:
             obs.add("service.cache_hit")
@@ -495,6 +515,57 @@ class SchedulerService:
             response["degraded_reason"] = decision.reason
         response["elapsed_s"] = time.perf_counter() - t0
         return response
+
+    # ------------------------------------------------------------ warm starts
+
+    def _apply_warm_start(
+        self, request: dict[str, Any], problem
+    ) -> tuple[dict[str, Any], Any, int]:
+        """Inject warm-start seeds into a GA request (coordinator reuses this).
+
+        The seeds become part of the request payload *before* the cache
+        key is formed, so identical (problem, params, seeds) requests
+        share one entry and the response stays reproducible.  Returns
+        the (possibly rewritten) request, the computed feature vector
+        (``None`` if not needed) and the number of injected seeds.
+        """
+        if (
+            not self.config.warm_start_enabled
+            or request["solver"] != "ga"
+            or not request.get("warm_start", True)
+            or request.get("warm_seeds")
+        ):
+            return request, None, len(request.get("warm_seeds") or [])
+        features = problem_features(problem)
+        seeds = self.warm_store.suggest(problem.n, problem.m, features)
+        if seeds:
+            self.counters["warm_start_hits"] += 1
+            obs.add("service.warm_start_hit")
+            return dict(request, warm_seeds=seeds), features, len(seeds)
+        self.counters["warm_start_misses"] += 1
+        obs.add("service.warm_start_miss")
+        return request, features, 0
+
+    def _record_warm_start(
+        self, core: dict[str, Any], problem, fingerprint: str, features
+    ) -> None:
+        """Feed the store with the run's best chromosome so later
+        near-match requests start from it (cache hits re-record to
+        refresh the entry's eviction age)."""
+        if not self.config.warm_start_enabled:
+            return
+        chromosome = core.get("ga_chromosome")
+        if chromosome is not None:
+            if features is None:
+                features = problem_features(problem)
+            self.warm_store.record(
+                problem.n,
+                problem.m,
+                fingerprint,
+                features,
+                chromosome["order"],
+                chromosome["proc_of"],
+            )
 
     async def _compute(
         self, key: str, request: dict[str, Any], tier: str
@@ -536,7 +607,9 @@ class SchedulerService:
         self, request: dict[str, Any], future: asyncio.Future
     ) -> dict[str, Any]:
         self._ga_inflight += 1
-        obs.set_gauge("service.ga_inflight", float(self._ga_inflight))
+        obs.set_gauge(
+            f"service.ga_inflight{self._gauge_suffix}", float(self._ga_inflight)
+        )
         t0 = time.perf_counter()
         try:
             self._backend.submit(dict(request), future)
@@ -545,25 +618,35 @@ class SchedulerService:
             return core
         finally:
             self._ga_inflight -= 1
-            obs.set_gauge("service.ga_inflight", float(self._ga_inflight))
+            obs.set_gauge(
+                f"service.ga_inflight{self._gauge_suffix}",
+                float(self._ga_inflight),
+            )
 
     # ----------------------------------------------------------------- status
 
     def _status_response(self, request_id: Any) -> dict[str, Any]:
         queue_depth = max(0, self._ga_inflight - self.config.workers)
-        obs.set_gauge("service.ga_queue_depth", float(queue_depth))
+        obs.set_gauge(
+            f"service.ga_queue_depth{self._gauge_suffix}", float(queue_depth)
+        )
         load = self.admission.stream_load()
         if load is not None:
-            obs.set_gauge("service.stream_load", float(load))
+            obs.set_gauge(
+                f"service.stream_load{self._gauge_suffix}", float(load)
+            )
+        server: dict[str, Any] = {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": time.monotonic() - self._started,
+            "workers": self.config.workers,
+            "draining": self._draining,
+        }
+        if self.config.node_id:
+            server["node_id"] = self.config.node_id
         return ok_response(
             request_id,
             op="status",
-            server={
-                "protocol": PROTOCOL_VERSION,
-                "uptime_s": time.monotonic() - self._started,
-                "workers": self.config.workers,
-                "draining": self._draining,
-            },
+            server=server,
             requests=dict(self.counters),
             cache=self.cache.stats(),
             admission=self.admission.stats(),

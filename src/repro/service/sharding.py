@@ -1,0 +1,124 @@
+"""Consistent-hash routing and the GA work-stealing policy.
+
+The coordinator owns a :class:`HashRing` over its shard ids: a problem
+fingerprint always hashes to the same **home shard**, independent of
+request order, coordinator restarts, or which shards happen to be busy
+— that is what makes routing deterministic and lets per-shard state
+(local result caches, in-flight coalescing) stay coherent without any
+cross-shard chatter.
+
+Two controlled departures from pure hashing:
+
+* **liveness** — a dead shard is skipped by walking the ring to the
+  next live node (classic consistent hashing: only the dead shard's
+  keys move);
+* **work stealing** — GA solves are seconds of compute and results are
+  pure functions of the payload, so when the home shard's GA backlog
+  exceeds the least-loaded shard's by at least ``steal_margin`` the
+  request is stolen by the least-loaded one.  Content is unaffected
+  (the shard identity never enters the solver), only latency is.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["HashRing", "RouteDecision", "choose_shard"]
+
+
+def _hash_point(key: str) -> int:
+    return int(hashlib.sha256(key.encode("utf-8")).hexdigest()[:16], 16)
+
+
+class HashRing:
+    """Consistent-hash ring over shard ids with virtual nodes.
+
+    ``replicas`` virtual points per shard keep the key space split
+    roughly evenly (64 points gives a few percent imbalance, plenty for
+    a handful of shards).  The ring depends only on the shard *ids*, so
+    any coordinator constructing it from the same topology routes every
+    fingerprint identically.
+    """
+
+    def __init__(self, node_ids: Sequence[str], replicas: int = 64) -> None:
+        if not node_ids:
+            raise ValueError("HashRing needs at least one node id")
+        if len(set(node_ids)) != len(node_ids):
+            raise ValueError(f"duplicate node ids: {sorted(node_ids)}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.node_ids = tuple(node_ids)
+        self.replicas = int(replicas)
+        points = [
+            (_hash_point(f"{node}#{replica}"), node)
+            for node in node_ids
+            for replica in range(replicas)
+        ]
+        points.sort()
+        self._points = points
+        self._keys = [p[0] for p in points]
+
+    def node_for(self, key: str, alive: Iterable[str] | None = None) -> str:
+        """The shard owning *key*; dead shards are walked past.
+
+        ``alive`` restricts the candidates (``None`` means every node).
+        Raises ``ValueError`` when no candidate is alive.
+        """
+        candidates = set(self.node_ids if alive is None else alive)
+        if not candidates:
+            raise ValueError("no live shards to route to")
+        start = bisect.bisect_right(self._keys, _hash_point(key))
+        n = len(self._points)
+        for step in range(n):
+            node = self._points[(start + step) % n][1]
+            if node in candidates:
+                return node
+        raise ValueError(
+            f"no ring point for any live shard {sorted(candidates)}"
+        )  # pragma: no cover - candidates validated above
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """Where one request goes and why.
+
+    ``home`` is the consistent-hash owner; ``node_id`` the shard
+    actually chosen.  ``stolen`` marks a work-steal, ``failover`` marks
+    a dead home shard walked past on the ring.
+    """
+
+    node_id: str
+    home: str
+    stolen: bool = False
+    failover: bool = False
+
+
+def choose_shard(
+    ring: HashRing,
+    fingerprint: str,
+    solver: str,
+    ga_inflight: Mapping[str, int],
+    *,
+    steal_margin: int = 1,
+) -> RouteDecision:
+    """Route one solve request to a live shard.
+
+    ``ga_inflight`` maps *live* shard ids to their coordinator-tracked
+    GA backlog; its key set defines liveness.  Fast-tier requests
+    always go home (they are milliseconds; locality keeps shard-local
+    caches warm).  GA requests are stolen by the least-loaded shard
+    when the home backlog exceeds it by at least ``steal_margin``.
+    """
+    if steal_margin < 1:
+        raise ValueError(f"steal_margin must be >= 1, got {steal_margin}")
+    home = ring.node_for(fingerprint, alive=ga_inflight.keys())
+    failover = home != ring.node_for(fingerprint)
+    if solver == "ga" and len(ga_inflight) > 1:
+        # Deterministic tie-break by node id keeps routing reproducible.
+        least = min(ga_inflight, key=lambda node: (ga_inflight[node], node))
+        if ga_inflight[home] - ga_inflight[least] >= steal_margin:
+            return RouteDecision(least, home, stolen=True, failover=failover)
+    return RouteDecision(home, home, failover=failover)

@@ -442,3 +442,76 @@ class TestWarmStart:
                 assert status["requests"]["warm_start_hits"] == 0
                 assert status["requests"]["warm_start_misses"] == 0
                 assert status["warm_start"]["entries"] == 0
+
+
+class TestServiceEdges:
+    """Service-edge regressions: oversized lines and broken clients."""
+
+    def test_over_limit_request_line_gets_clean_error(self):
+        # Regression: StreamReader.readline wraps LimitOverrunError in a
+        # plain ValueError, which used to escape the read loop and drop
+        # the connection with no response.  The server must answer with
+        # a bad-request error naming the limit, then close.
+        with ServiceHarness(workers=1, max_line_bytes=4096) as harness:
+            with harness.client() as client:
+                client._file.write(b'{"pad": "' + b"x" * 8192 + b'"}\n')
+                client._file.flush()
+                response = client.request({"op": "ping"})
+                assert not response["ok"]
+                assert response["error"]["code"] == "bad-request"
+                assert "4096" in response["error"]["message"]
+                # The connection is closed afterwards (unrecoverable
+                # mid-frame); a fresh one works normally.
+                with pytest.raises((ConnectionError, OSError)):
+                    client.request({"op": "ping"})
+            with harness.client() as client:
+                assert client.ping()
+
+    def test_within_limit_large_line_still_served(self):
+        problem = _problem(seed=31, n=25)
+        with ServiceHarness(workers=1, max_line_bytes=1024 * 1024) as harness:
+            with harness.client() as client:
+                response = client.solve(
+                    problem, solver="heft", seed=1, n_realizations=50
+                )
+                assert response["ok"]
+
+    def test_timed_out_client_fails_fast_instead_of_desyncing(self):
+        # Regression: after a socket timeout the late response stayed in
+        # the stream and was read as the answer to the *next* request.
+        # The client must mark the connection broken and refuse reuse.
+        problem = _problem(seed=32, n=30)
+        with ServiceHarness(workers=1) as harness:
+            client = ServiceClient(
+                "127.0.0.1", harness.port, timeout=0.05, retry_s=5.0
+            )
+            try:
+                with pytest.raises(OSError):  # socket.timeout is OSError
+                    client.solve(
+                        problem,
+                        solver="ga",
+                        epsilon=1.2,
+                        seed=3,
+                        ga=GA_SLOW,
+                        n_realizations=N_REAL,
+                    )
+                with pytest.raises(ConnectionError, match="broken"):
+                    client.ping()
+                with pytest.raises(ConnectionError, match="broken"):
+                    client.status()
+            finally:
+                client.close()  # must not raise
+            # close() stays idempotent and exception-safe.
+            client.close()
+
+    def test_close_is_exception_safe_after_server_gone(self):
+        # BrokenPipeError out of close() used to mask the original
+        # exception in `with` blocks unwinding a failure.
+        with ServiceHarness(workers=1) as harness:
+            client = harness.client()
+            assert client.ping()
+        # Harness exit shut the server down; stuff the buffer so close()
+        # has pending bytes to flush into a dead socket.
+        client._file.write(b'{"op": "ping"}\n')
+        client.close()  # swallows the transport error
+        client.close()

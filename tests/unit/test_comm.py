@@ -1,0 +1,250 @@
+"""Unit tests for repro.service.comm: framing, transports, addressing.
+
+The contract under test is transport interchangeability: a message sent
+over ``inproc://`` must be byte-identical to the same message over
+``tcp://``, and both must surface the same typed errors (closed peer,
+oversized frame) so the server's connection loop is transport-blind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.comm import (
+    DEFAULT_MAX_FRAME,
+    Comm,
+    CommClosedError,
+    CommError,
+    FrameTooLargeError,
+    connect,
+    decode_frame,
+    encode_frame,
+    listen,
+    parse_address,
+)
+from repro.service.comm.framing import read_stream_frame
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAddressing:
+    def test_parse_address_splits_scheme(self):
+        assert parse_address("tcp://127.0.0.1:8642") == ("tcp", "127.0.0.1:8642")
+        assert parse_address("inproc://node-a") == ("inproc", "node-a")
+
+    @pytest.mark.parametrize(
+        "bad", ["127.0.0.1:8642", "tcp://", "://x", "smtp://host:25", ""]
+    )
+    def test_bad_addresses_rejected(self, bad):
+        with pytest.raises(CommError):
+            parse_address(bad)
+
+
+class TestFraming:
+    def test_roundtrip_matches_protocol_wire_format(self):
+        from repro.service.protocol import encode
+
+        message = {"op": "ping", "id": 3}
+        frame = encode_frame(message)
+        assert frame == encode(message)  # byte-identical to the TCP wire
+        assert frame.endswith(b"\n")
+        assert decode_frame(frame) == message
+
+    def test_readline_value_error_maps_to_frame_too_large(self):
+        # StreamReader.readline signals an over-limit line as a plain
+        # ValueError (wrapping LimitOverrunError).  The framing layer
+        # must translate it -- this is the regression the pre-comm
+        # server hit by only catching LimitOverrunError.
+        async def scenario():
+            reader = asyncio.StreamReader(limit=64)
+            reader.feed_data(b"x" * 1024)
+            with pytest.raises(FrameTooLargeError):
+                await read_stream_frame(reader)
+
+        run(scenario())
+
+    def test_eof_maps_to_comm_closed(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            with pytest.raises(CommClosedError):
+                await read_stream_frame(reader)
+
+        run(scenario())
+
+
+class _EchoFixture:
+    """A listener echoing every message back, on any transport."""
+
+    def __init__(self, address: str, **listen_kwargs):
+        self.address = address
+        self.listen_kwargs = listen_kwargs
+        self.server_comms: list[Comm] = []
+
+    async def __aenter__(self):
+        async def echo(comm: Comm) -> None:
+            self.server_comms.append(comm)
+            try:
+                while True:
+                    await comm.send(await comm.recv())
+            except (CommClosedError, FrameTooLargeError):
+                pass
+            finally:
+                await comm.aclose()
+
+        self.listener = await listen(self.address, echo, **self.listen_kwargs)
+        return self
+
+    async def __aexit__(self, *exc_info):
+        await self.listener.aclose()
+        for comm in self.server_comms:
+            await comm.aclose()
+
+
+@pytest.mark.parametrize(
+    "address", ["tcp://127.0.0.1:0", "inproc://test-echo-{}"]
+)
+class TestTransports:
+    """The same behavioural suite runs against both transports."""
+
+    _seq = 0
+
+    @classmethod
+    def _address(cls, template: str) -> str:
+        cls._seq += 1
+        return template.format(cls._seq)
+
+    def test_roundtrip(self, address):
+        async def scenario():
+            async with _EchoFixture(self._address(address)) as fixture:
+                comm = await connect(fixture.listener.address)
+                try:
+                    for payload in ({"op": "ping", "id": 1}, {"data": "x" * 500}):
+                        await comm.send(payload)
+                        assert await comm.recv() == payload
+                finally:
+                    await comm.aclose()
+
+        run(scenario())
+
+    def test_close_gives_peer_eof(self, address):
+        async def scenario():
+            async with _EchoFixture(self._address(address)) as fixture:
+                comm = await connect(fixture.listener.address)
+                await comm.send({"op": "ping"})
+                await comm.recv()
+                await comm.aclose()
+                assert comm.closed
+                # The server handler exits on CommClosedError; give it a
+                # beat, then its comm must be closed too.
+                for _ in range(50):
+                    if fixture.server_comms[0].closed:
+                        break
+                    await asyncio.sleep(0.01)
+                assert fixture.server_comms[0].closed
+
+        run(scenario())
+
+    def test_send_after_close_raises(self, address):
+        async def scenario():
+            async with _EchoFixture(self._address(address)) as fixture:
+                comm = await connect(fixture.listener.address)
+                await comm.aclose()
+                with pytest.raises(CommClosedError):
+                    await comm.send({"op": "ping"})
+
+        run(scenario())
+
+    def test_oversized_outbound_frame_rejected(self, address):
+        async def scenario():
+            async with _EchoFixture(
+                self._address(address), max_frame=4096
+            ) as fixture:
+                comm = await connect(fixture.listener.address, max_frame=4096)
+                with pytest.raises(FrameTooLargeError):
+                    await comm.send({"blob": "y" * 8192})
+                # The channel survives a *local* oversize rejection.
+                await comm.send({"op": "ping"})
+                assert (await comm.recv())["op"] == "ping"
+                await comm.aclose()
+
+        run(scenario())
+
+
+class TestTcpSpecifics:
+    def test_listener_reports_bound_port(self):
+        async def scenario():
+            async def handler(comm):
+                await comm.aclose()
+
+            listener = await listen("tcp://127.0.0.1:0", handler)
+            try:
+                assert listener.port and listener.port > 0
+                assert listener.address == f"tcp://127.0.0.1:{listener.port}"
+            finally:
+                await listener.aclose()
+
+        run(scenario())
+
+    def test_oversized_inbound_frame_typed_error(self):
+        # A peer that ignores the limit: the reader side must raise
+        # FrameTooLargeError, not a bare ValueError.
+        async def scenario():
+            got: list = []
+            done = asyncio.Event()
+
+            async def handler(comm):
+                try:
+                    await comm.recv()
+                except Exception as exc:  # noqa: BLE001 - recording type
+                    got.append(exc)
+                finally:
+                    done.set()
+                    await comm.aclose()
+
+            listener = await listen("tcp://127.0.0.1:0", handler, max_frame=1024)
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", listener.port
+                )
+                writer.write(b"z" * 4096 + b"\n")
+                await writer.drain()
+                await asyncio.wait_for(done.wait(), timeout=5)
+                assert len(got) == 1
+                assert isinstance(got[0], FrameTooLargeError)
+                writer.close()
+            finally:
+                await listener.aclose()
+
+        run(scenario())
+
+
+class TestInprocSpecifics:
+    def test_duplicate_name_rejected(self):
+        async def scenario():
+            async def handler(comm):
+                await comm.aclose()
+
+            listener = await listen("inproc://dup-name", handler)
+            with pytest.raises(CommError):
+                await listen("inproc://dup-name", handler)
+            await listener.aclose()
+            # The name is free again after close.
+            listener2 = await listen("inproc://dup-name", handler)
+            await listener2.aclose()
+
+        run(scenario())
+
+    def test_connect_unknown_name_fails(self):
+        async def scenario():
+            with pytest.raises(CommError):
+                await connect("inproc://nobody-listens-here")
+
+        run(scenario())
+
+    def test_default_max_frame_matches_pre_comm_limit(self):
+        assert DEFAULT_MAX_FRAME == 16 * 1024 * 1024

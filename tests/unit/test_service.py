@@ -145,6 +145,26 @@ class TestResultCache:
         cache.put("k", {"v": "y"})
         assert cache.stats()["bytes"] == len(json.dumps({"v": "y"}, separators=(",", ":")))
 
+    def test_entry_size_counts_utf8_bytes_not_code_points(self):
+        # Regression: sizing used len() of the dumps text — a count of
+        # code points of whatever rendering json.dumps picked, not the
+        # stored document's bytes.  Pin the contract instead: an entry
+        # costs exactly the UTF-8 size of its canonical JSON, so a
+        # multibyte problem name (3 bytes per kana below) is charged
+        # more than its character count.
+        payload = {"name": "グラフスケジューラ", "makespan": 12.5}
+        canonical = json.dumps(
+            payload, allow_nan=False, ensure_ascii=False, separators=(",", ":")
+        )
+        byte_size = len(canonical.encode("utf-8"))
+        assert byte_size > len(canonical)  # multibyte: bytes > code points
+        cache = ResultCache(max_bytes=byte_size)
+        assert cache.put("k", payload)  # exactly fits the budget
+        assert cache.stats()["bytes"] == byte_size
+        tight = ResultCache(max_bytes=byte_size - 1)
+        assert not tight.put("k", payload)  # one byte short must reject
+        assert len(tight) == 0
+
     def test_cache_key_is_order_insensitive(self):
         a = cache_key("fp", "ga", seed=1, epsilon=1.5)
         b = cache_key("fp", "ga", epsilon=1.5, seed=1)
@@ -184,6 +204,21 @@ class TestResultCache:
         with pytest.raises(ProtocolError) as err:
             _solve_request(small_random_problem, warm_start="yes")
         assert err.value.code == "bad-request"
+
+    def test_warm_seeds_pass_through_normalization(self, small_random_problem):
+        # The coordinator re-normalizes requests when forwarding to a
+        # shard; injected seed chromosomes must survive the round trip.
+        seeds = [{"order": [0, 1], "proc_of": [0, 0]}]
+        request = _solve_request(
+            small_random_problem, solver="ga", warm_seeds=seeds
+        )
+        assert request["warm_seeds"] == seeds
+        assert "warm_seeds" not in _solve_request(small_random_problem)
+        with pytest.raises(ProtocolError) as err:
+            _solve_request(small_random_problem, warm_seeds=[{"order": [0]}])
+        assert err.value.code == "bad-request"
+        with pytest.raises(ProtocolError):
+            _solve_request(small_random_problem, warm_seeds="nope")
 
 
 class TestAdmissionController:

@@ -1,0 +1,129 @@
+"""Unit tests for repro.service.sharding: the ring and the steal policy.
+
+Routing determinism is a correctness property of the sharded service
+(per-shard caches and coalescing assume a fingerprint has one home), so
+these tests pin the ring's stability under membership change as well as
+the exact conditions under which work stealing may override it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.sharding import HashRing, choose_shard
+
+
+def _nodes(n: int) -> list[str]:
+    return [f"shard-{i}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_same_key_same_node(self):
+        ring = HashRing(_nodes(4))
+        keys = [f"fingerprint-{i}" for i in range(100)]
+        first = [ring.node_for(k) for k in keys]
+        again = [HashRing(_nodes(4)).node_for(k) for k in keys]
+        assert first == again  # depends only on ids, not instance
+
+    def test_distribution_roughly_even(self):
+        ring = HashRing(_nodes(4))
+        counts: dict[str, int] = {}
+        for i in range(2000):
+            node = ring.node_for(f"key-{i}")
+            counts[node] = counts.get(node, 0) + 1
+        assert set(counts) == set(_nodes(4))
+        assert min(counts.values()) > 2000 / 4 * 0.5
+
+    def test_dead_node_moves_only_its_keys(self):
+        ring = HashRing(_nodes(4))
+        keys = [f"key-{i}" for i in range(500)]
+        full = {k: ring.node_for(k) for k in keys}
+        alive = [n for n in _nodes(4) if n != "shard-2"]
+        for k in keys:
+            rerouted = ring.node_for(k, alive=alive)
+            if full[k] != "shard-2":
+                assert rerouted == full[k]  # survivors keep their keys
+            else:
+                assert rerouted != "shard-2"
+
+    def test_single_live_node_takes_everything(self):
+        ring = HashRing(_nodes(3))
+        assert ring.node_for("anything", alive=["shard-1"]) == "shard-1"
+
+    def test_no_live_nodes_raises(self):
+        ring = HashRing(_nodes(2))
+        with pytest.raises(ValueError):
+            ring.node_for("key", alive=[])
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"node_ids": []},
+            {"node_ids": ["a", "a"]},
+            {"node_ids": ["a"], "replicas": 0},
+        ],
+    )
+    def test_rejects_bad_construction(self, bad):
+        with pytest.raises(ValueError):
+            HashRing(**bad)
+
+
+class TestChooseShard:
+    def test_idle_cluster_routes_home(self):
+        ring = HashRing(_nodes(4))
+        inflight = {n: 0 for n in _nodes(4)}
+        for i in range(50):
+            decision = choose_shard(ring, f"fp-{i}", "ga", inflight)
+            assert decision.node_id == decision.home == ring.node_for(f"fp-{i}")
+            assert not decision.stolen and not decision.failover
+
+    def test_deep_home_backlog_is_stolen(self):
+        ring = HashRing(_nodes(2))
+        home = ring.node_for("fp")
+        other = next(n for n in _nodes(2) if n != home)
+        decision = choose_shard(
+            ring, "fp", "ga", {home: 3, other: 0}, steal_margin=2
+        )
+        assert decision.stolen
+        assert decision.node_id == other
+        assert decision.home == home
+
+    def test_margin_not_met_stays_home(self):
+        ring = HashRing(_nodes(2))
+        home = ring.node_for("fp")
+        other = next(n for n in _nodes(2) if n != home)
+        decision = choose_shard(
+            ring, "fp", "ga", {home: 1, other: 0}, steal_margin=2
+        )
+        assert decision.node_id == home and not decision.stolen
+
+    def test_fast_tier_never_stolen(self):
+        ring = HashRing(_nodes(2))
+        home = ring.node_for("fp")
+        other = next(n for n in _nodes(2) if n != home)
+        decision = choose_shard(ring, "fp", "heft", {home: 99, other: 0})
+        assert decision.node_id == home and not decision.stolen
+
+    def test_dead_home_is_failover(self):
+        ring = HashRing(_nodes(3))
+        home = ring.node_for("fp")
+        alive = {n: 0 for n in _nodes(3) if n != home}
+        decision = choose_shard(ring, "fp", "ga", alive)
+        assert decision.failover
+        assert decision.node_id != home
+        assert decision.node_id == ring.node_for("fp", alive=alive.keys())
+
+    def test_steal_tie_break_is_deterministic(self):
+        ring = HashRing(_nodes(3))
+        home = ring.node_for("fp")
+        inflight = {n: (5 if n == home else 0) for n in _nodes(3)}
+        picks = {
+            choose_shard(ring, "fp", "ga", inflight).node_id for _ in range(10)
+        }
+        assert len(picks) == 1  # equal-load candidates break ties by id
+        assert picks.pop() == min(n for n in _nodes(3) if n != home)
+
+    def test_bad_margin_rejected(self):
+        ring = HashRing(_nodes(2))
+        with pytest.raises(ValueError):
+            choose_shard(ring, "fp", "ga", {"shard-0": 0}, steal_margin=0)
