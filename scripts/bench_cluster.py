@@ -13,6 +13,8 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_cluster.py            # write JSON
     PYTHONPATH=src python scripts/bench_cluster.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_cluster.py \
+        --baseline baseline_seed   # archive current numbers first
 
 Speedup over serial depends on the machine's core count; the recorded
 ``cpu_count`` puts the numbers in context.  The overhead benchmark
@@ -23,14 +25,11 @@ cost independent of any cores.
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
 
-import numpy as np
+from bench_util import bench_meta, write_record
 
 from repro.cluster import TaskSpec, run_tasks
 from repro.experiments.config import SCALES, ExperimentConfig
@@ -98,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_cluster.json",
         help="output path (default: BENCH_cluster.json at the repo root)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="snapshot the existing file's sections into a top-level NAME "
+        "block before writing the fresh numbers (refused if NAME exists)",
+    )
     args = parser.parse_args(argv)
 
     grid = {}
@@ -117,27 +122,20 @@ def main(argv: list[str] | None = None) -> int:
     record = {
         "grid_throughput": grid,
         "engine_overhead": overhead,
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-            "uls": list(ULS),
-            "epsilons": list(EPSILONS),
-            "scale": "smoke",
-            "seed": SEED,
-        },
+        "meta": bench_meta(
+            uls=list(ULS),
+            epsilons=list(EPSILONS),
+            scale="smoke",
+            seed=SEED,
+        ),
     }
     if not args.no_write:
-        # Preserve extra top-level sections so re-runs never lose history.
-        if args.output.exists():
-            try:
-                previous = json.loads(args.output.read_text())
-            except (OSError, ValueError):
-                previous = {}
-            for key, value in previous.items():
-                record.setdefault(key, value)
-        args.output.write_text(json.dumps(record, indent=2) + "\n")
-        print(f"wrote {args.output}")
+        return write_record(
+            args.output,
+            record,
+            sections=("grid_throughput", "engine_overhead", "meta"),
+            baseline=args.baseline,
+        )
     return 0
 
 

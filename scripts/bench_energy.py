@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Benchmark the energy subsystem's kernels and record median timings.
+
+Times the pricing and replication paths of :mod:`repro.energy` on the
+paper-sized instance (100 tasks, 4 processors, rng pinned) and writes
+the medians to ``BENCH_energy.json`` at the repository root:
+
+* ``energy_of`` — price one schedule (the per-champion cost);
+* ``batch_energies_1000`` — price a 1000-realization Monte-Carlo
+  duration matrix (the assessment-side cost);
+* ``population_energies_64`` — price a 64-individual GA population
+  from its assignment matrix (the per-generation fitness cost — no
+  chromosome decode, so it must stay near the slack fitness);
+* ``replication_build`` — build one k=1 overlap replication plan;
+* ``dvfs_post_pass`` — the slowest-feasible-frequency scan;
+* ``survival_verify`` — verify one plan against every 1-failure subset
+  (3 realizations each; the event-loop-bound path).
+
+Extra top-level blocks in the JSON are always preserved;
+``--baseline NAME`` snapshots the existing file's sections into a new
+``NAME`` block before the fresh numbers overwrite them — the same
+mechanism as the other ``scripts/bench_*.py`` recorders.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_energy.py            # write JSON
+    PYTHONPATH=src python scripts/bench_energy.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_energy.py \
+        --baseline baseline_seed   # archive current medians first
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from bench_util import bench_meta, median_ms, write_record
+
+from repro.core.problem import SchedulingProblem
+from repro.energy import (
+    PowerModel,
+    build_replication_plan,
+    slowest_feasible_freqs,
+    verify_survival,
+)
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.platform.uncertainty import UncertaintyParams
+from repro.schedule.evaluation import expected_makespan
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 20060925
+N_TASKS = 100
+POP_SIZE = 64
+N_REALIZATIONS = 1000
+SURVIVAL_REALIZATIONS = 3
+
+
+def build_kernels() -> dict:
+    """The benchmark kernels on the paper-sized instance (rng pinned)."""
+    problem = SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=N_TASKS),
+        uncertainty_params=UncertaintyParams(mean_ul=2.0),
+        rng=0,
+    )
+    schedule = HeftScheduler().schedule(problem)
+    power = PowerModel.default(problem.m)
+    m_heft = expected_makespan(schedule)
+    durations = schedule.realize_durations(N_REALIZATIONS, rng=1)
+
+    # A deterministic population assignment matrix plus its makespans,
+    # exactly what EnergyConstraintFitness hands to population_energies.
+    pop_rng = np.random.default_rng(2)
+    proc_of = pop_rng.integers(0, problem.m, size=(POP_SIZE, problem.n))
+    proc_of[0] = schedule.proc_of
+    # The makespans only feed the idle-window term; the population kernel
+    # has already computed them by the time the fitness prices energy.
+    makespans = np.full(POP_SIZE, m_heft)
+
+    plan = build_replication_plan(
+        problem, schedule, k=1, policy="overlap", deadline=4.0 * m_heft
+    )
+
+    return {
+        "energy_of": lambda: power.energy_of(schedule),
+        "batch_energies_1000": lambda: power.batch_energies(
+            schedule, durations
+        ),
+        "population_energies_64": lambda: power.population_energies(
+            problem, proc_of, makespans
+        ),
+        "replication_build": lambda: build_replication_plan(
+            problem, schedule, k=1, policy="overlap", deadline=4.0 * m_heft
+        ),
+        "dvfs_post_pass": lambda: slowest_feasible_freqs(
+            schedule, power, 1.3 * m_heft
+        ),
+        "survival_verify": lambda: verify_survival(
+            plan, n_realizations=SURVIVAL_REALIZATIONS, rng=3
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print timings without updating BENCH_energy.json",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="per-kernel time budget in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_energy.json",
+        help="output path (default: BENCH_energy.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="snapshot the existing file's sections into a top-level NAME "
+        "block before writing the fresh numbers (refused if NAME exists)",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = build_kernels()
+    results = {}
+    for name, fn in kernels.items():
+        median, rounds = median_ms(fn, budget_s=args.budget)
+        results[name] = {"median_ms": round(median, 4), "rounds": rounds}
+        print(f"{name:24s} {median:10.3f} ms   ({rounds} rounds)")
+
+    record = {
+        "kernels": results,
+        "meta": bench_meta(
+            workload=f"heft_n{N_TASKS}_m4_ul2",
+            population=POP_SIZE,
+            n_realizations=N_REALIZATIONS,
+            survival_realizations=SURVIVAL_REALIZATIONS,
+            seed=SEED,
+        ),
+    }
+    if not args.no_write:
+        return write_record(
+            args.output,
+            record,
+            sections=("kernels", "meta"),
+            baseline=args.baseline,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

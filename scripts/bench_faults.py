@@ -25,17 +25,16 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_faults.py            # write JSON
     PYTHONPATH=src python scripts/bench_faults.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_faults.py \
+        --baseline baseline_seed   # archive current numbers first
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import time
 from pathlib import Path
 
-import numpy as np
+from bench_util import bench_meta, median_ms, write_record
 
 from repro.core.problem import SchedulingProblem
 from repro.faults import BUILTIN_SCENARIOS, FaultScenario, assess_robustness_faulty
@@ -45,21 +44,6 @@ from repro.platform.uncertainty import UncertaintyParams
 from repro.robustness.montecarlo import assess_robustness
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _median_ms(fn, *, budget_s: float = 2.0, min_rounds: int = 5) -> tuple[float, int]:
-    """Median wall-clock milliseconds of ``fn()`` over a time budget."""
-    fn()  # warm caches (schedule evaluation, kernels)
-    times: list[float] = []
-    t_stop = time.perf_counter() + budget_s
-    while len(times) < min_rounds or time.perf_counter() < t_stop:
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-        if len(times) >= 10_000:
-            break
-    times.sort()
-    return times[len(times) // 2] * 1e3, len(times)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -80,6 +64,12 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=REPO_ROOT / "BENCH_faults.json",
         help="output path (default: BENCH_faults.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="snapshot the existing file's sections into a top-level NAME "
+        "block before writing the fresh numbers (refused if NAME exists)",
     )
     args = parser.parse_args(argv)
 
@@ -130,7 +120,7 @@ def main(argv: list[str] | None = None) -> int:
 
     results = {}
     for name, (n_real, fn) in modes.items():
-        median, rounds = _median_ms(fn, budget_s=args.budget)
+        median, rounds = median_ms(fn, budget_s=args.budget)
         results[name] = {
             "median_ms": round(median, 4),
             "n_realizations": n_real,
@@ -151,14 +141,15 @@ def main(argv: list[str] | None = None) -> int:
         "workload": "heft_n60_m4_ul4",
         "modes": results,
         "zero_fault_overhead": round(zero_fault_overhead, 4),
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "meta": bench_meta(),
     }
     if not args.no_write:
-        args.output.write_text(json.dumps(record, indent=1) + "\n")
-        print(f"wrote {args.output}")
+        return write_record(
+            args.output,
+            record,
+            sections=("workload", "modes", "zero_fault_overhead", "meta"),
+            baseline=args.baseline,
+        )
     return 0
 
 

@@ -35,18 +35,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
-import numpy as np
+from bench_util import bench_meta
 
 from repro.core.problem import SchedulingProblem
 from repro.ga.engine import GAParams, GeneticScheduler
 from repro.ga.fitness import SlackFitness
 from repro.ga.selection import binary_tournament
-from repro.graph import _native
 from repro.graph.generator import DagParams
 from repro.heuristics.heft import HeftScheduler
 from repro.platform.uncertainty import UncertaintyParams
@@ -154,11 +152,7 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "kernels": results,
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "native_kernel": _native.get_lib() is not None,
-        },
+        "meta": bench_meta(),
     }
     if not args.no_write:
         # Preserve extra top-level sections (e.g. the recorded seed

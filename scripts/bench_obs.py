@@ -15,17 +15,16 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_obs.py            # write JSON
     PYTHONPATH=src python scripts/bench_obs.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_obs.py \
+        --baseline baseline_seed   # archive current numbers first
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
-import time
 from pathlib import Path
 
-import numpy as np
+from bench_util import bench_meta, median_ms, write_record
 
 from repro import obs
 from repro.core.problem import SchedulingProblem
@@ -35,21 +34,6 @@ from repro.platform.uncertainty import UncertaintyParams
 from repro.schedule.evaluation import batch_makespans
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-
-
-def _median_ms(fn, *, budget_s: float = 2.0, min_rounds: int = 5) -> tuple[float, int]:
-    """Median wall-clock milliseconds of ``fn()`` over a time budget."""
-    fn()  # warm caches and the optional native kernel
-    times: list[float] = []
-    t_stop = time.perf_counter() + budget_s
-    while len(times) < min_rounds or time.perf_counter() < t_stop:
-        t0 = time.perf_counter()
-        fn()
-        times.append(time.perf_counter() - t0)
-        if len(times) >= 10_000:
-            break
-    times.sort()
-    return times[len(times) // 2] * 1e3, len(times)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -71,6 +55,12 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_obs.json",
         help="output path (default: BENCH_obs.json at the repo root)",
     )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="snapshot the existing file's sections into a top-level NAME "
+        "block before writing the fresh numbers (refused if NAME exists)",
+    )
     args = parser.parse_args(argv)
 
     problem = SchedulingProblem.random(
@@ -88,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
         if mode == "enabled":
             obs.enable(obs.InMemorySink())
         try:
-            median, rounds = _median_ms(kernel, budget_s=args.budget)
+            median, rounds = median_ms(kernel, budget_s=args.budget)
         finally:
             if mode == "enabled":
                 obs.disable()
@@ -109,14 +99,18 @@ def main(argv: list[str] | None = None) -> int:
         "modes": results,
         "disabled_overhead": round(disabled_overhead, 4),
         "enabled_overhead": round(enabled_overhead, 4),
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "meta": bench_meta(),
     }
     if not args.no_write:
-        args.output.write_text(json.dumps(record, indent=1) + "\n")
-        print(f"wrote {args.output}")
+        return write_record(
+            args.output,
+            record,
+            sections=(
+                "kernel", "modes", "disabled_overhead", "enabled_overhead",
+                "meta",
+            ),
+            baseline=args.baseline,
+        )
     return 0
 
 

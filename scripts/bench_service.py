@@ -54,12 +54,13 @@ import argparse
 import asyncio
 import json
 import os
-import platform
 import threading
 import time
 from pathlib import Path
 
 import numpy as np
+
+from bench_util import bench_meta
 
 from repro.core.problem import SchedulingProblem
 from repro.graph.generator import DagParams
@@ -442,15 +443,12 @@ def main(argv: list[str] | None = None) -> int:
     record = {
         "service": tiers,
         "warm_start": warm,
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-            "n_tasks": N_TASKS,
-            "n_realizations": N_REALIZATIONS,
-            "ga_overrides": GA_OVERRIDES,
-            "seed": SEED,
-        },
+        "meta": bench_meta(
+            n_tasks=N_TASKS,
+            n_realizations=N_REALIZATIONS,
+            ga_overrides=GA_OVERRIDES,
+            seed=SEED,
+        ),
     }
     if sharding is not None:
         record["sharding"] = sharding

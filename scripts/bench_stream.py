@@ -31,12 +31,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
 
 import numpy as np
+
+from bench_util import bench_meta
 
 from repro.stream import StreamParams, build_workload, make_policy, run_stream
 
@@ -124,13 +125,11 @@ def main(argv: list[str] | None = None) -> int:
 
     record = {
         "stream": results,
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "n_jobs": StreamParams().n_jobs,
-            "tasks": StreamParams().tasks,
-            "m": StreamParams().m,
-        },
+        "meta": bench_meta(
+            n_jobs=StreamParams().n_jobs,
+            tasks=StreamParams().tasks,
+            m=StreamParams().m,
+        ),
     }
     if not args.no_write:
         previous = {}

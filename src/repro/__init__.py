@@ -23,11 +23,24 @@ evaluation), :mod:`repro.heuristics` (HEFT & friends), :mod:`repro.ga`
 (the genetic algorithm), :mod:`repro.robustness` (Monte-Carlo metrics),
 :mod:`repro.moop` (Pareto/NSGA-II extension), :mod:`repro.experiments`
 (per-figure drivers), :mod:`repro.sim` (event-driven oracle),
-:mod:`repro.faults` (fault injection & reactive policies).
+:mod:`repro.faults` (fault injection & reactive policies),
+:mod:`repro.energy` (energy pricing, DVFS and k-fault replication).
 """
 
 from repro.core.problem import SchedulingProblem
 from repro.core.robust import RobustResult, RobustScheduler
+from repro.energy import (
+    EnergyBreakdown,
+    EnergyConstraintFitness,
+    EnergyResult,
+    EnergyScheduler,
+    PowerModel,
+    ReplicationPlan,
+    SurvivalReport,
+    build_replication_plan,
+    slowest_feasible_freqs,
+    verify_survival,
+)
 from repro.faults import (
     BUILTIN_SCENARIOS,
     FaultAssessment,
@@ -122,6 +135,17 @@ __all__ = [
     "FaultAssessment",
     "assess_robustness_faulty",
     "BUILTIN_SCENARIOS",
+    # energy and replication
+    "PowerModel",
+    "EnergyBreakdown",
+    "slowest_feasible_freqs",
+    "EnergyConstraintFitness",
+    "EnergyScheduler",
+    "EnergyResult",
+    "ReplicationPlan",
+    "SurvivalReport",
+    "build_replication_plan",
+    "verify_survival",
     # visualization
     "render_gantt",
 ]

@@ -14,6 +14,8 @@ Usage::
     python -m repro faults --scenario proc-failure  # fault injection
     python -m repro stream --load 1.5 --policy prune  # streaming workload
     python -m repro stream --grid --workers 4       # policy x load curves
+    python -m repro energy --epsilons 1.0 1.3 1.6   # energy frontier study
+    python -m repro energy --k 2 --workers 4        # 2-fault replication
 
 or via the installed entry point ``repro-sched``.
 """
@@ -286,6 +288,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the builtin scenario library and exit",
     )
     faults.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
+    energy = sub.add_parser(
+        "energy",
+        help="energy/replication frontier study: HEFT vs robust GA vs "
+        "energy GA (see docs/energy.md)",
+    )
+    instance_args(energy)
+    energy.add_argument(
+        "--epsilons",
+        type=float,
+        nargs="+",
+        default=[1.0, 1.3, 1.6],
+        help="makespan budgets as multiples of M_HEFT (default: 1.0 1.3 1.6)",
+    )
+    energy.add_argument(
+        "--slack-ratio",
+        type=float,
+        default=0.5,
+        help="reliability floor R as a fraction of HEFT's average slack "
+        "(default: 0.5; must be <= 1 so HEFT keeps every cell feasible)",
+    )
+    energy.add_argument(
+        "--power",
+        choices=("default", "uniform", "null"),
+        default="default",
+        help="power model: 'default' heterogeneous with DVFS levels, "
+        "'uniform' identical processors, 'null' zero power (degenerates "
+        "to the paper's slack GA; default: default)",
+    )
+    energy.add_argument(
+        "--k",
+        type=int,
+        default=1,
+        help="permanent processor failures the replication plan must "
+        "tolerate (0 skips replication; default: 1)",
+    )
+    energy.add_argument(
+        "--deadline-factor",
+        type=float,
+        default=4.0,
+        help="replication deadline as a multiple of M_HEFT (default: 4)",
+    )
+    energy.add_argument(
+        "--realizations",
+        type=_positive_int,
+        default=200,
+        help="Monte-Carlo realizations per cell (default: 200)",
+    )
+    energy.add_argument(
+        "--replication-realizations",
+        type=_positive_int,
+        default=10,
+        help="realizations per failure subset in survival verification "
+        "(default: 10)",
+    )
+    energy.add_argument(
+        "--instances",
+        type=_positive_int,
+        default=1,
+        help="instances to average over (default: 1)",
+    )
+    energy.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="cluster worker processes for the instance fan-out "
+        "(results are identical for any value)",
+    )
+    energy.add_argument(
+        "--ga-iterations",
+        type=_positive_int,
+        default=80,
+        help="GA generations (default: 80)",
+    )
+    energy.add_argument(
+        "--ga-population",
+        type=_positive_int,
+        default=20,
+        help="GA population size (default: 20)",
+    )
+    energy.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
 
@@ -766,6 +851,57 @@ def _run_faults(args: argparse.Namespace) -> str:
     return results.to_table()
 
 
+def _run_energy(args: argparse.Namespace) -> str:
+    from repro.energy import PowerModel
+    from repro.experiments.config import Scale
+    from repro.experiments.energy_grid import run_energy_grid
+    from repro.ga.engine import GAParams
+
+    if not (0.0 <= args.slack_ratio <= 1.0):
+        raise SystemExit(
+            f"--slack-ratio must be in [0, 1], got {args.slack_ratio}"
+        )
+    if args.k < 0:
+        raise SystemExit(f"--k must be >= 0, got {args.k}")
+    powers = {
+        "default": PowerModel.default,
+        "uniform": PowerModel.uniform,
+        "null": PowerModel.null,
+    }
+    power = powers[args.power](args.procs)
+    scale = Scale(
+        name="cli-energy",
+        n_graphs=args.instances,
+        n_realizations=args.realizations,
+        n_tasks=args.tasks,
+        ga_max_iterations=args.ga_iterations,
+        ga_stagnation=max(args.ga_iterations // 4, 1),
+    )
+    config = ExperimentConfig(scale=scale, m=args.procs, seed=args.seed)
+    ga_params = GAParams(
+        population_size=args.ga_population,
+        max_iterations=args.ga_iterations,
+        stagnation_limit=scale.ga_stagnation,
+    )
+    results = run_energy_grid(
+        config,
+        power=power,
+        epsilons=tuple(args.epsilons),
+        mean_ul=args.ul,
+        slack_ratio=args.slack_ratio,
+        k=args.k,
+        deadline_factor=args.deadline_factor,
+        replication_realizations=args.replication_realizations,
+        ga_params=ga_params,
+        n_jobs=args.workers if args.workers is not None else 1,
+        progress=_progress(args),
+    )
+    out = results.to_table()
+    if results.replication:
+        out += "\n" + results.replication_table()
+    return out
+
+
 def _run_stream(args: argparse.Namespace) -> str:
     from repro.experiments.stream_grid import DEFAULT_LOADS, run_stream_grid
     from repro.stream import (
@@ -1007,6 +1143,8 @@ def _dispatch(args: argparse.Namespace) -> str:
         return _run_export(args)
     if args.command == "faults":
         return _run_faults(args)
+    if args.command == "energy":
+        return _run_energy(args)
     if args.command == "stream":
         return _run_stream(args)
     if args.command == "serve":

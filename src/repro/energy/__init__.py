@@ -1,0 +1,57 @@
+"""repro.energy — energy- and replication-aware scheduling.
+
+The third objective axis next to the paper's makespan and robustness:
+
+* :class:`~repro.energy.power.PowerModel` — per-processor active/idle
+  power, discrete DVFS frequency levels with cubic dynamic-power
+  scaling, and pricing for single schedules
+  (:meth:`~repro.energy.power.PowerModel.energy_of`), Monte-Carlo
+  realization matrices
+  (:meth:`~repro.energy.power.PowerModel.batch_energies`) and whole GA
+  populations
+  (:meth:`~repro.energy.power.PowerModel.population_energies`);
+* :class:`~repro.energy.replication.ReplicationPlan` —
+  k-fault-tolerant primary/backup schedules with EnSuRe-style backup
+  overlapping, survival verified against the
+  :mod:`repro.faults` permanent-failure model
+  (:func:`~repro.energy.replication.verify_survival`);
+* :class:`~repro.energy.objective.EnergyScheduler` — minimize energy
+  subject to ``makespan ≤ ε·M_HEFT`` and ``slack ≥ R`` through the
+  existing :class:`~repro.ga.engine.GeneticScheduler`; the null-power
+  path is bit-identical to
+  :class:`~repro.core.robust.RobustScheduler`.
+
+See ``docs/energy.md`` for the executable walkthrough and
+:mod:`repro.experiments.energy_grid` / ``repro energy`` for the
+frontier study.
+"""
+
+from repro.energy.objective import (
+    EnergyConstraintFitness,
+    EnergyResult,
+    EnergyScheduler,
+)
+from repro.energy.power import EnergyBreakdown, PowerModel, slowest_feasible_freqs
+from repro.energy.replication import (
+    REPLICATION_POLICIES,
+    ReplicationEnergy,
+    ReplicationPlan,
+    SurvivalReport,
+    build_replication_plan,
+    verify_survival,
+)
+
+__all__ = [
+    "PowerModel",
+    "EnergyBreakdown",
+    "slowest_feasible_freqs",
+    "EnergyConstraintFitness",
+    "EnergyScheduler",
+    "EnergyResult",
+    "ReplicationPlan",
+    "ReplicationEnergy",
+    "SurvivalReport",
+    "REPLICATION_POLICIES",
+    "build_replication_plan",
+    "verify_survival",
+]

@@ -1,0 +1,442 @@
+"""Power models: price schedules in joules, not just seconds.
+
+The paper's objectives are time-only (makespan, slack); this module adds
+the third axis the fault-tolerant real-time literature prices first:
+**energy**.  The model follows the FEST/EnSuRe schedulers and the
+makespan+energy-under-reliability work (arXiv 2212.09274):
+
+* every processor has an *active* power (watts while executing at full
+  frequency) and an *idle* power (watts while powered but waiting);
+* processors optionally support discrete DVFS frequency ratios
+  ``f ∈ (0, 1]``; dynamic power scales **cubically** with frequency
+  (``P(f) = P_idle + (P_active − P_idle)·f³``) while execution time
+  scales as ``1/f`` — running slower is usually cheaper per task;
+* inter-processor transfers draw ``link_power`` watts for the duration
+  of the transfer (intra-processor communication is free, matching the
+  zero-cost edges of the disjunctive graph).
+
+:meth:`PowerModel.energy_of` prices any existing
+:class:`~repro.schedule.schedule.Schedule` — nothing about the schedule
+changes, so pricing composes with every scheduler, assessor and policy
+already in the repo.  :meth:`PowerModel.batch_energies` prices Monte-
+Carlo realization matrices and :meth:`PowerModel.population_energies`
+prices whole GA populations without decoding a single chromosome, which
+is what makes the energy-constrained GA fitness
+(:class:`repro.energy.objective.EnergyConstraintFitness`) as cheap per
+generation as the paper's slack fitness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs import runtime as obs
+from repro.schedule.evaluation import batch_makespans, evaluate
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "PowerModel",
+    "EnergyBreakdown",
+    "slowest_feasible_freqs",
+]
+
+_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one schedule, split by where the joules went.
+
+    Attributes
+    ----------
+    active:
+        ``(m,)`` joules spent executing tasks, per processor.
+    idle:
+        ``(m,)`` joules spent powered-but-waiting, per processor
+        (every processor is on for the whole makespan).
+    comm:
+        Joules spent on inter-processor transfers.
+    makespan:
+        The makespan the idle window was priced against (stretched by
+        DVFS when ``freqs`` is not all-ones).
+    freqs:
+        ``(m,)`` frequency ratio each processor ran at.
+    """
+
+    active: np.ndarray
+    idle: np.ndarray
+    comm: float
+    makespan: float
+    freqs: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Total joules: active + idle + communication."""
+        return float(self.active.sum() + self.idle.sum() + self.comm)
+
+    @property
+    def per_processor(self) -> np.ndarray:
+        """``(m,)`` active + idle joules per processor."""
+        return self.active + self.idle
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "total": self.total,
+            "active": [float(x) for x in self.active],
+            "idle": [float(x) for x in self.idle],
+            "comm": float(self.comm),
+            "makespan": float(self.makespan),
+            "freqs": [float(f) for f in self.freqs],
+        }
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-processor power curves with discrete DVFS levels.
+
+    Parameters
+    ----------
+    active:
+        ``(m,)`` watts while executing at full frequency (``f = 1``).
+    idle:
+        ``(m,)`` watts while powered but not executing; must satisfy
+        ``0 <= idle <= active`` elementwise.
+    freq_levels:
+        The discrete frequency ratios DVFS may choose from, each in
+        ``(0, 1]``; always normalised to contain ``1.0`` (full speed).
+    link_power:
+        Watts drawn while an inter-processor transfer is in flight.
+    name:
+        Label used in reports.
+    """
+
+    active: np.ndarray
+    idle: np.ndarray
+    freq_levels: tuple[float, ...] = (1.0,)
+    link_power: float = 0.0
+    name: str = "power"
+
+    def __post_init__(self) -> None:
+        active = np.ascontiguousarray(self.active, dtype=np.float64)
+        idle = np.ascontiguousarray(self.idle, dtype=np.float64)
+        if active.ndim != 1 or active.shape != idle.shape:
+            raise ValueError(
+                "active and idle must be 1-D arrays of equal length, got "
+                f"{active.shape} and {idle.shape}"
+            )
+        if np.any(active < 0.0) or np.any(idle < 0.0):
+            raise ValueError("power values must be >= 0")
+        if np.any(idle > active * (1.0 + _TOL) + _TOL):
+            raise ValueError("idle power must not exceed active power")
+        levels = tuple(sorted({float(f) for f in self.freq_levels} | {1.0}))
+        if any(not (0.0 < f <= 1.0) for f in levels):
+            raise ValueError(f"frequency ratios must be in (0, 1], got {levels}")
+        if not (self.link_power >= 0.0):
+            raise ValueError(f"link_power must be >= 0, got {self.link_power}")
+        active.setflags(write=False)
+        idle.setflags(write=False)
+        object.__setattr__(self, "active", active)
+        object.__setattr__(self, "idle", idle)
+        object.__setattr__(self, "freq_levels", levels)
+        object.__setattr__(self, "link_power", float(self.link_power))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def null(cls, m: int) -> "PowerModel":
+        """The no-op model: zero power everywhere.
+
+        Pricing with it returns 0 J for every schedule, and the
+        energy-aware scheduler degenerates **bit-identically** to the
+        paper's robust path (pinned by
+        ``tests/property/test_energy_identity.py``).
+        """
+        return cls(np.zeros(m), np.zeros(m), name="null")
+
+    @classmethod
+    def uniform(
+        cls,
+        m: int,
+        active: float = 1.0,
+        idle: float = 0.0,
+        *,
+        link_power: float = 0.0,
+        freq_levels: tuple[float, ...] = (1.0,),
+    ) -> "PowerModel":
+        """Homogeneous model: every processor shares one power curve."""
+        return cls(
+            np.full(m, float(active)),
+            np.full(m, float(idle)),
+            freq_levels=freq_levels,
+            link_power=link_power,
+            name="uniform",
+        )
+
+    @classmethod
+    def default(cls, m: int) -> "PowerModel":
+        """Deterministic heterogeneous model used by the experiments.
+
+        Active power ramps linearly from 1.0 to 2.0 across processors
+        (faster machines burn more), idle is 10% of active, transfers
+        draw 0.5 W, and three DVFS levels are available.  Fully
+        determined by ``m`` — no RNG — so experiment grids stay
+        reproducible without threading a power seed around.
+        """
+        ramp = np.linspace(1.0, 2.0, m) if m > 1 else np.ones(1)
+        return cls(
+            ramp,
+            0.1 * ramp,
+            freq_levels=(0.6, 0.8, 1.0),
+            link_power=0.5,
+            name="default",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def m(self) -> int:
+        """Number of processors the model covers."""
+        return int(self.active.shape[0])
+
+    @property
+    def is_null(self) -> bool:
+        """True when every price is zero (pricing can change nothing)."""
+        return (
+            not self.active.any()
+            and not self.idle.any()
+            and self.link_power == 0.0
+        )
+
+    def validate_for(self, m: int) -> None:
+        """Raise if the model does not cover an ``m``-processor platform."""
+        if self.m != m:
+            raise ValueError(
+                f"power model covers {self.m} processors but the platform has {m}"
+            )
+
+    def power_at(self, freqs: np.ndarray) -> np.ndarray:
+        """Active watts per processor at frequency ratios *freqs*.
+
+        Cubic dynamic scaling: ``P(f) = idle + (active − idle) · f³``.
+        """
+        freqs = np.asarray(freqs, dtype=np.float64)
+        return self.idle + (self.active - self.idle) * freqs**3
+
+    # ------------------------------------------------------------------ #
+    # Pricing
+    # ------------------------------------------------------------------ #
+
+    def _freqs(self, freqs) -> np.ndarray:
+        if freqs is None:
+            return np.ones(self.m)
+        freqs = np.asarray(freqs, dtype=np.float64)
+        if freqs.shape != (self.m,):
+            raise ValueError(f"freqs must have shape ({self.m},), got {freqs.shape}")
+        if np.any(freqs <= 0.0) or np.any(freqs > 1.0):
+            raise ValueError("frequency ratios must be in (0, 1]")
+        return freqs
+
+    def energy_of(
+        self,
+        schedule: Schedule,
+        *,
+        durations: np.ndarray | None = None,
+        freqs: np.ndarray | None = None,
+    ) -> EnergyBreakdown:
+        """Price one schedule: active + idle + communication joules.
+
+        Parameters
+        ----------
+        schedule:
+            Any schedule of a problem on an ``m``-processor platform.
+        durations:
+            ``(n,)`` task durations at full frequency (default: the
+            expected durations — the scheduler-visible view).
+        freqs:
+            ``(m,)`` per-processor DVFS ratios.  Durations stretch by
+            ``1/f`` and active power scales cubically; the idle window is
+            priced against the *stretched* makespan.
+
+        Pricing is a pure read — the schedule is never modified, so the
+        zero-power/no-replication path stays bit-identical to the
+        existing pipeline.
+        """
+        self.validate_for(schedule.problem.m)
+        freqs = self._freqs(freqs)
+        plain = durations is None and bool(np.all(freqs == 1.0))
+        if durations is None:
+            durations = schedule.expected_durations()
+        proc_of = schedule.proc_of
+        stretched = np.asarray(durations, dtype=np.float64) / freqs[proc_of]
+        # The unstretched expected-duration case goes through the cached
+        # evaluation, sharing work with every other consumer.
+        makespan = evaluate(schedule, None if plain else stretched).makespan
+
+        watts = self.power_at(freqs)
+        active = np.bincount(proc_of, weights=stretched * watts[proc_of], minlength=self.m)
+        busy = np.bincount(proc_of, weights=stretched, minlength=self.m)
+        idle = np.maximum(makespan - busy, 0.0) * self.idle
+        comm = float(schedule.comm_weights.sum()) * self.link_power
+        obs.add("energy.prices")
+        return EnergyBreakdown(
+            active=active, idle=idle, comm=comm, makespan=makespan, freqs=freqs
+        )
+
+    def energy_of_run(self, schedule: Schedule, result) -> EnergyBreakdown:
+        """Price a simulated execution at what actually ran.
+
+        *result* is a :class:`~repro.sim.eventsim.SimulationResult`
+        (duck-typed: ``makespan`` and
+        :meth:`~repro.sim.eventsim.SimulationResult.busy_times`): active
+        joules come from the realized per-processor busy times — stalls,
+        faults and retries included — and the idle window from the
+        realized makespan.  A run that never completed (permanent
+        failure) prices to ``inf``.
+        """
+        self.validate_for(schedule.problem.m)
+        busy = np.asarray(result.busy_times(schedule), dtype=np.float64)
+        active = busy * self.active
+        idle = np.maximum(result.makespan - busy, 0.0) * self.idle
+        comm = float(schedule.comm_weights.sum()) * self.link_power
+        obs.add("energy.prices")
+        return EnergyBreakdown(
+            active=active,
+            idle=idle,
+            comm=comm,
+            makespan=float(result.makespan),
+            freqs=np.ones(self.m),
+        )
+
+    def batch_energies(
+        self,
+        schedule: Schedule,
+        durations: np.ndarray,
+        *,
+        freqs: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Total joules of each duration realization — the MC variant.
+
+        *durations* is the ``(R, n)`` matrix
+        :meth:`~repro.schedule.schedule.Schedule.realize_durations`
+        produces; the result is ``(R,)`` totals, vectorized through the
+        same :func:`~repro.schedule.evaluation.batch_makespans` kernel
+        the robustness metrics use.
+        """
+        self.validate_for(schedule.problem.m)
+        freqs = self._freqs(freqs)
+        proc_of = schedule.proc_of
+        durations = np.asarray(durations, dtype=np.float64)
+        stretched = durations / freqs[proc_of]
+        makespans = batch_makespans(schedule, stretched)
+        watts = self.power_at(freqs)
+        active = stretched @ watts[proc_of]
+        idle = makespans * self.idle.sum() - stretched @ self.idle[proc_of]
+        comm = float(schedule.comm_weights.sum()) * self.link_power
+        return active + idle + comm
+
+    def population_energies(
+        self,
+        problem,
+        proc_of: np.ndarray,
+        makespans: np.ndarray,
+    ) -> np.ndarray:
+        """Expected energy of every individual in a GA population.
+
+        Operates directly on the ``(k, n)`` processor-assignment matrix
+        and the ``(k,)`` makespans the population kernel already
+        computed — no chromosome is decoded, no schedule materialised.
+        Frequencies are full-speed here; DVFS is a post-pass
+        (:func:`slowest_feasible_freqs`) on the returned champion.
+        """
+        self.validate_for(problem.m)
+        proc_of = np.asarray(proc_of, dtype=np.int64)
+        makespans = np.asarray(makespans, dtype=np.float64)
+        n = problem.n
+        durations = problem.expected_times[np.arange(n)[None, :], proc_of]
+        active = (durations * self.active[proc_of]).sum(axis=1)
+        idle = makespans * self.idle.sum() - (durations * self.idle[proc_of]).sum(axis=1)
+        graph = problem.graph
+        if graph.edge_src.size and self.link_power > 0.0:
+            src = proc_of[:, graph.edge_src]
+            dst = proc_of[:, graph.edge_dst]
+            comm_times = problem.platform.comm_times(graph.edge_data[None, :], src, dst)
+            comm = comm_times.sum(axis=1) * self.link_power
+        else:
+            comm = 0.0
+        return active + idle + comm
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """Plain-dict (JSON-ready) representation."""
+        return {
+            "name": self.name,
+            "active": [float(x) for x in self.active],
+            "idle": [float(x) for x in self.idle],
+            "freq_levels": [float(f) for f in self.freq_levels],
+            "link_power": self.link_power,
+        }
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "PowerModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            np.asarray(spec["active"], dtype=np.float64),
+            np.asarray(spec["idle"], dtype=np.float64),
+            freq_levels=tuple(spec.get("freq_levels", (1.0,))),
+            link_power=float(spec.get("link_power", 0.0)),
+            name=str(spec.get("name", "power")),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PowerModel(name={self.name!r}, m={self.m}, "
+            f"levels={len(self.freq_levels)})"
+        )
+
+
+def slowest_feasible_freqs(
+    schedule: Schedule,
+    power: PowerModel,
+    bound: float,
+    *,
+    durations: np.ndarray | None = None,
+) -> tuple[np.ndarray, EnergyBreakdown]:
+    """Greedy DVFS post-pass: lowest per-processor frequencies under a bound.
+
+    Processors are visited in index order; each drops to its lowest
+    discrete level (given the levels already chosen for earlier
+    processors) that keeps the stretched makespan within *bound*.  The
+    scan is deterministic and needs ``m × |levels|`` static evaluations —
+    cheap next to one GA generation.  Returns the chosen ``(m,)`` ratios
+    and the resulting :class:`EnergyBreakdown`.
+    """
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    power.validate_for(schedule.problem.m)
+    if durations is None:
+        durations = schedule.expected_durations()
+    durations = np.asarray(durations, dtype=np.float64)
+    proc_of = schedule.proc_of
+    freqs = np.ones(power.m)
+    ceiling = bound * (1.0 + _TOL)
+    for p in range(power.m):
+        for level in power.freq_levels:  # ascending: try the slowest first
+            if level >= freqs[p]:
+                break
+            trial = freqs.copy()
+            trial[p] = level
+            makespan = evaluate(schedule, durations / trial[proc_of]).makespan
+            if makespan <= ceiling:
+                freqs = trial
+                break
+    return freqs, power.energy_of(schedule, durations=durations, freqs=freqs)

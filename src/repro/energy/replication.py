@@ -1,0 +1,357 @@
+"""k-fault-tolerant primary/backup replication with backup overlapping.
+
+The fault layer (:mod:`repro.faults`) measures what permanent processor
+failures *cost*; this module makes schedules *survive* them.  Following
+the FEST/EnSuRe primary-backup schedulers:
+
+* every task keeps its **primary** placement from an existing schedule
+  and gets ``k`` **backup** placements on distinct other processors, so
+  after any ≤ k simultaneous permanent failures every task still has a
+  live processor;
+* under the ``"duplicate"`` policy (naive active replication) every
+  backup copy always executes — robust but paying ``(k+1)×`` active
+  energy;
+* under the ``"overlap"`` policy (EnSuRe-style passive backups) backups
+  execute **only after a failure is detected**.  Because at most ``k``
+  processors can fail, backups of tasks whose primaries sit on
+  *different* processors can share the same reserved slot — the
+  reserved backup capacity per processor is the sum of its ``k``
+  largest per-primary group loads, not the total.  Fault-free runs
+  spend **zero** backup joules, which is why overlap strictly beats
+  duplication on energy at equal verified reliability.
+
+Survival is not asserted, it is *verified*: :func:`verify_survival`
+rebuilds the recovery schedule for every ≤ k failure subset and runs it
+through :func:`repro.faults.assess.assess_robustness_faulty` against
+SIGKILL-grade permanent :class:`~repro.faults.scenario.OutageFault`\\ s
+on exactly those processors — any task left on a dead processor would
+make the realized makespan infinite and fail the check.  A deterministic
+worst-case bound (every duration at its support maximum
+``(2·UL−1)·b``) upgrades the Monte-Carlo check into a guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.problem import SchedulingProblem
+from repro.energy.power import EnergyBreakdown, PowerModel
+from repro.faults.assess import assess_robustness_faulty
+from repro.faults.scenario import FaultScenario
+from repro.obs import runtime as obs
+from repro.schedule.evaluation import evaluate
+from repro.schedule.schedule import Schedule
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "ReplicationPlan",
+    "ReplicationEnergy",
+    "SurvivalReport",
+    "build_replication_plan",
+    "verify_survival",
+    "REPLICATION_POLICIES",
+]
+
+REPLICATION_POLICIES: tuple[str, ...] = ("overlap", "duplicate")
+
+_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class ReplicationEnergy:
+    """Energy of a replicated deployment, fault-free.
+
+    ``backup`` is what the backup copies burn when nothing fails (zero
+    under ``overlap``, the full copy cost under ``duplicate``);
+    ``worst_case_backup`` is the largest energy any single ≤ k failure
+    subset can trigger — the recovery bill, never paid upfront under
+    ``overlap``.
+    """
+
+    policy: str
+    primary: EnergyBreakdown
+    backup: float
+    worst_case_backup: float
+    reserved_time: np.ndarray
+
+    @property
+    def total(self) -> float:
+        """Fault-free joules: primary schedule plus always-on backups."""
+        return self.primary.total + self.backup
+
+
+@dataclass(frozen=True)
+class SurvivalReport:
+    """Outcome of verifying a plan against every ≤ k failure subset."""
+
+    k: int
+    deadline: float
+    n_subsets: int
+    n_realizations: int
+    survives: bool
+    guaranteed: bool
+    worst_expected_makespan: float
+    worst_realized_makespan: float
+    n_missed: int
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "k": self.k,
+            "deadline": self.deadline,
+            "n_subsets": self.n_subsets,
+            "n_realizations": self.n_realizations,
+            "survives": self.survives,
+            "guaranteed": self.guaranteed,
+            "worst_expected_makespan": self.worst_expected_makespan,
+            "worst_realized_makespan": self.worst_realized_makespan,
+            "n_missed": self.n_missed,
+        }
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """Primary schedule plus ``k`` backup placements per task.
+
+    Built by :func:`build_replication_plan`; immutable.  ``backup_procs``
+    is ``(n, k)``: row ``i`` lists task ``i``'s backup processors in
+    preference order, all distinct from each other and from the primary.
+    """
+
+    problem: SchedulingProblem
+    primary: Schedule
+    k: int
+    policy: str
+    backup_procs: np.ndarray
+    deadline: float
+
+    def __post_init__(self) -> None:
+        procs = np.ascontiguousarray(self.backup_procs, dtype=np.int64)
+        procs.setflags(write=False)
+        object.__setattr__(self, "backup_procs", procs)
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
+    def recovery_assignment(self, failed: tuple[int, ...]) -> np.ndarray:
+        """Processor of every task after the processors in *failed* die."""
+        failed_set = frozenset(int(p) for p in failed)
+        if len(failed_set) > self.k:
+            raise ValueError(
+                f"plan tolerates k={self.k} failures, got {len(failed_set)}"
+            )
+        if any(not (0 <= p < self.problem.m) for p in failed_set):
+            raise ValueError(f"failed processors out of range: {sorted(failed_set)}")
+        proc_of = self.primary.proc_of.copy()
+        for i in np.flatnonzero(np.isin(proc_of, list(failed_set))):
+            for backup in self.backup_procs[i]:
+                if int(backup) not in failed_set:
+                    proc_of[i] = backup
+                    break
+            else:  # pragma: no cover - impossible: k+1 distinct processors
+                raise RuntimeError(f"task {i} has no surviving processor")
+        return proc_of
+
+    def recovery_schedule(self, failed: tuple[int, ...]) -> Schedule:
+        """The backup schedule after the processors in *failed* die.
+
+        Tasks on dead processors move to their first surviving backup;
+        every processor's queue keeps the primary schedule's global
+        linear order, which is a topological order of the task graph, so
+        the result is always a valid :class:`Schedule`.
+        """
+        return Schedule.from_assignment(
+            self.problem, self.primary.linear_order(), self.recovery_assignment(failed)
+        )
+
+    def failure_subsets(self) -> list[tuple[int, ...]]:
+        """Every non-empty subset of ≤ k processors, in deterministic order."""
+        procs = range(self.problem.m)
+        return [
+            subset
+            for size in range(1, self.k + 1)
+            for subset in combinations(procs, size)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Capacity and energy
+    # ------------------------------------------------------------------ #
+
+    def _group_loads(self) -> np.ndarray:
+        """``(m, m)``: expected backup time on processor ``p`` from tasks
+        whose primary is ``q``."""
+        m = self.problem.m
+        expected = self.problem.expected_times
+        primary = self.primary.proc_of
+        loads = np.zeros((m, m))
+        for col in range(self.k):
+            backs = self.backup_procs[:, col]
+            np.add.at(loads, (backs, primary), expected[np.arange(self.problem.n), backs])
+        return loads
+
+    def reserved_time(self) -> np.ndarray:
+        """``(m,)`` backup time reserved on each processor.
+
+        ``duplicate`` reserves (and executes) every copy; ``overlap``
+        reserves only enough for the worst ≤ k concurrently-failed
+        primaries — its slots are shared across primary processors,
+        which is the EnSuRe saving.
+        """
+        loads = self._group_loads()
+        if self.policy == "duplicate":
+            return loads.sum(axis=1)
+        top_k = np.sort(loads, axis=1)[:, -self.k :]
+        return top_k.sum(axis=1)
+
+    def energy(self, power: PowerModel) -> ReplicationEnergy:
+        """Price the deployment fault-free, plus the worst recovery bill."""
+        power.validate_for(self.problem.m)
+        loads = self._group_loads()
+        copy_energy = (loads * power.active[:, None]).sum()
+
+        # Energy of recovering from the worst subset: the failed groups'
+        # backup work, priced at the backup processors' active power.
+        worst_energy = 0.0
+        for subset in self.failure_subsets():
+            cost = float((loads[:, list(subset)] * power.active[:, None]).sum())
+            worst_energy = max(worst_energy, cost)
+
+        primary = power.energy_of(self.primary)
+        backup = float(copy_energy) if self.policy == "duplicate" else 0.0
+        return ReplicationEnergy(
+            policy=self.policy,
+            primary=primary,
+            backup=backup,
+            worst_case_backup=worst_energy,
+            reserved_time=self.reserved_time(),
+        )
+
+
+def build_replication_plan(
+    problem: SchedulingProblem,
+    schedule: Schedule,
+    *,
+    k: int = 1,
+    policy: str = "overlap",
+    deadline: float,
+) -> ReplicationPlan:
+    """Attach ``k`` backup placements per task to an existing schedule.
+
+    Backups are placed greedily in the primary schedule's linear order:
+    task ``i``'s ``c``-th backup goes to the processor (distinct from
+    its primary and its earlier backups) minimising *accumulated backup
+    load + expected time there* — fast processors are preferred but load
+    spreads, keeping every recovery schedule's makespan bounded instead
+    of serialising all backups on the single fastest machine.  Ties go
+    to the lower index.  Requires ``m >= k + 1``.
+    """
+    if policy not in REPLICATION_POLICIES:
+        raise ValueError(
+            f"unknown replication policy {policy!r}; choose from "
+            f"{REPLICATION_POLICIES}"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if problem.m < k + 1:
+        raise ValueError(
+            f"k={k} fault tolerance needs at least {k + 1} processors, "
+            f"platform has {problem.m}"
+        )
+    if not (deadline > 0.0):
+        raise ValueError(f"deadline must be positive, got {deadline}")
+
+    with obs.trace("energy.replicate", policy=policy, k=k):
+        expected = problem.expected_times
+        primary = schedule.proc_of
+        backups = np.empty((problem.n, k), dtype=np.int64)
+        load = np.zeros(problem.m)
+        for i in schedule.linear_order():
+            taken = {int(primary[i])}
+            for col in range(k):
+                cost = load + expected[i]
+                # argmin over allowed processors, ties to the lower index
+                best, best_cost = -1, np.inf
+                for p in range(problem.m):
+                    if p in taken:
+                        continue
+                    if cost[p] < best_cost:
+                        best, best_cost = p, float(cost[p])
+                backups[i, col] = best
+                taken.add(best)
+                load[best] += expected[i, best]
+        obs.add("energy.replication_plans")
+        return ReplicationPlan(
+            problem=problem,
+            primary=schedule,
+            k=int(k),
+            policy=policy,
+            backup_procs=backups,
+            deadline=float(deadline),
+        )
+
+
+def verify_survival(
+    plan: ReplicationPlan,
+    *,
+    n_realizations: int = 50,
+    rng=None,
+    policy: str = "rerun-static",
+) -> SurvivalReport:
+    """Verify the plan against every ≤ k permanent-failure subset.
+
+    For each subset the recovery schedule is assessed under a
+    :class:`~repro.faults.scenario.FaultScenario` of permanent
+    :class:`~repro.faults.scenario.OutageFault`\\ s on exactly those
+    processors via :func:`~repro.faults.assess.assess_robustness_faulty`
+    — if the plan left any task on a dead processor, that realization
+    never completes and the check fails.  ``survives`` additionally
+    requires every realized makespan to meet the plan's deadline;
+    ``guaranteed`` is the deterministic worst-case-duration bound.
+    """
+    if n_realizations < 1:
+        raise ValueError(f"n_realizations must be >= 1, got {n_realizations}")
+    gen = as_generator(rng)
+    subsets = plan.failure_subsets()
+    streams = gen.spawn(len(subsets))
+
+    with obs.trace("energy.survival", k=plan.k, subsets=len(subsets)):
+        survives = True
+        guaranteed = True
+        worst_expected = 0.0
+        worst_realized = 0.0
+        n_missed = 0
+        deadline = plan.deadline * (1.0 + _TOL)
+        uncertainty = plan.problem.uncertainty
+        for subset, stream in zip(subsets, streams):
+            recovery = plan.recovery_schedule(subset)
+            scenario = FaultScenario.processor_failures(subset)
+            assessment = assess_robustness_faulty(
+                recovery, scenario, n_realizations, stream, policy=policy
+            )
+            _, worst_durations = uncertainty.duration_bounds(recovery.proc_of)
+            bound = evaluate(recovery, worst_durations).makespan
+            worst_expected = max(worst_expected, assessment.expected_makespan)
+            realized = float(np.max(assessment.realized_makespans))
+            worst_realized = max(worst_realized, realized)
+            missed = int(np.sum(assessment.realized_makespans > deadline))
+            n_missed += missed
+            if assessment.n_failed > 0 or missed > 0:
+                survives = False
+            if bound > deadline:
+                guaranteed = False
+        obs.add("energy.survival_checks", len(subsets))
+        return SurvivalReport(
+            k=plan.k,
+            deadline=plan.deadline,
+            n_subsets=len(subsets),
+            n_realizations=n_realizations,
+            survives=survives,
+            guaranteed=guaranteed,
+            worst_expected_makespan=worst_expected,
+            worst_realized_makespan=worst_realized,
+            n_missed=n_missed,
+        )

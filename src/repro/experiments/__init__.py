@@ -20,6 +20,7 @@ Figs. 7/8           :func:`~repro.experiments.best_eps.run_best_eps`
 from repro.experiments.best_eps import BestEpsResult, run_best_eps
 from repro.experiments.config import SCALES, ExperimentConfig, Scale
 from repro.experiments.eps_one import EpsOneResult, run_eps_one
+from repro.experiments.energy_grid import EnergyGridResults, run_energy_grid
 from repro.experiments.eps_sweep import EpsSweepResult, run_eps_sweep
 from repro.experiments.fault_grid import FaultGridResults, run_fault_grid
 from repro.experiments.runner import EpsGridResults, run_eps_grid
@@ -49,6 +50,8 @@ __all__ = [
     "make_problem",
     "run_fault_grid",
     "FaultGridResults",
+    "run_energy_grid",
+    "EnergyGridResults",
     "run_stream_grid",
     "StreamGridResults",
     "run_zoo",

@@ -280,6 +280,26 @@ class FaultScenario:
         """The empty scenario — assessment is bit-identical to the plain path."""
         return cls(name="none", faults=())
 
+    @classmethod
+    def processor_failures(
+        cls, processors, *, start: float = 0.0
+    ) -> "FaultScenario":
+        """SIGKILL-grade scenario: the given processors fail permanently.
+
+        Each processor gets a permanent :class:`OutageFault` from
+        ``start`` (default 0 — dead on arrival); the replication layer
+        (:mod:`repro.energy.replication`) verifies its backup schedules
+        against exactly these scenarios.
+        """
+        procs = tuple(sorted({int(p) for p in processors}))
+        if not procs:
+            raise ValueError("need at least one failed processor")
+        label = ",".join(str(p) for p in procs)
+        return cls(
+            name=f"fail[{label}]",
+            faults=tuple(OutageFault(processor=p, start=start) for p in procs),
+        )
+
     def environment(self, m: int, *, time_scale: float = 1.0):
         """Build the :class:`~repro.faults.environment.FaultEnvironment`
         realizing this scenario on an ``m``-processor platform.

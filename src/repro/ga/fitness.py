@@ -15,6 +15,12 @@ Three policies cover the paper's experiments:
 
 plus :func:`quantile_duration_matrix` supporting the stochastic-information
 extension (paper Sec. 6 future work).
+
+External policies plug into the same protocol:
+:class:`repro.energy.objective.EnergyConstraintFitness` swaps the slack
+objective for expected energy while keeping Eqn. 8's feasibility algebra
+(and degenerates to :class:`EpsilonConstraintFitness` under a null power
+model).
 """
 
 from __future__ import annotations

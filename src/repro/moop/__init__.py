@@ -8,6 +8,7 @@ approximates the whole makespan/slack Pareto front that would otherwise
 require one ε-constraint GA run per ε value.
 """
 
+from repro.moop.energy_front import EnergyFrontResult, energy_front
 from repro.moop.epsilon_front import EpsilonFrontResult, epsilon_front
 from repro.moop.nsga2 import Nsga2Result, Nsga2Scheduler
 from repro.moop.pareto import (
@@ -33,6 +34,8 @@ __all__ = [
     "WeightedSumFitness",
     "epsilon_front",
     "EpsilonFrontResult",
+    "energy_front",
+    "EnergyFrontResult",
     "weighted_sum_front",
     "WeightedFrontResult",
 ]

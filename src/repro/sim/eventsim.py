@@ -60,6 +60,19 @@ class SimulationResult:
     start_times: np.ndarray
     finish_times: np.ndarray
 
+    def busy_times(self, schedule: Schedule) -> np.ndarray:
+        """``(m,)`` total realized compute time on each processor.
+
+        The realized analogue of the expected per-processor loads that
+        :meth:`repro.energy.power.PowerModel.energy_of` prices — lets a
+        simulated (possibly faulty) run be priced at what actually
+        executed instead of what was planned.  Tasks that never finished
+        (permanent failure) contribute ``inf`` to their processor.
+        """
+        busy = np.zeros(schedule.m, dtype=np.float64)
+        np.add.at(busy, schedule.proc_of, self.finish_times - self.start_times)
+        return busy
+
     def gantt(self, schedule: Schedule) -> list[GanttEntry]:
         """Gantt entries sorted by (processor, start time)."""
         entries = [

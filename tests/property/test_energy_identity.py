@@ -1,0 +1,126 @@
+"""Property tests: energy awareness is invisible when power is null.
+
+The pinned contract (see ``docs/energy.md``): with a null power model
+and replication disabled, :class:`~repro.energy.EnergyScheduler` makes
+exactly the same generator calls as
+:class:`~repro.core.robust.RobustScheduler` — the returned schedules,
+the Monte-Carlo R1/R2 reports and their JSON encodings are
+**bit-identical**, not merely close.  Pricing any schedule with any
+power model is a pure read: nothing downstream changes.
+"""
+
+import json
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.robust import RobustScheduler
+from repro.energy import EnergyScheduler, PowerModel
+from repro.ga.engine import GAParams
+from repro.io import report_to_dict
+from repro.robustness.montecarlo import assess_robustness
+from tests.property.strategies import problems, scheduled_problems
+
+#: Tiny GA so each hypothesis example stays cheap; identity must hold
+#: for any parameter set because both paths share one code object.
+_PARAMS = GAParams(population_size=6, max_iterations=4, stagnation_limit=2)
+
+
+def _orders(schedule):
+    return [list(map(int, order)) for order in schedule.proc_orders]
+
+
+def _identical_reports(a, b):
+    assert np.array_equal(a.realized_makespans, b.realized_makespans)
+    assert a.expected_makespan == b.expected_makespan
+    assert a.avg_slack == b.avg_slack
+    assert a.r1 == b.r1
+    assert a.r2 == b.r2
+    assert json.dumps(report_to_dict(a), sort_keys=True) == json.dumps(
+        report_to_dict(b), sort_keys=True
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    problem=problems(min_n=2, max_n=8, max_m=3),
+    seed=st.integers(0, 2**31 - 1),
+    epsilon=st.floats(1.0, 2.0),
+    use_none=st.booleans(),
+)
+def test_null_power_scheduler_is_bit_identical(problem, seed, epsilon, use_none):
+    """``power=None`` and ``PowerModel.null`` both degenerate to the
+    paper's robust path: same fitness object, same RNG stream."""
+    robust = RobustScheduler(epsilon=epsilon, params=_PARAMS, rng=seed).solve(
+        problem
+    )
+    power = None if use_none else PowerModel.null(problem.m)
+    energy = EnergyScheduler(
+        epsilon=epsilon, power=power, params=_PARAMS, rng=seed
+    ).solve(problem)
+
+    assert _orders(energy.schedule) == _orders(robust.schedule)
+    assert np.array_equal(energy.schedule.proc_of, robust.schedule.proc_of)
+    assert energy.m_heft == robust.m_heft
+    assert energy.energy == 0.0
+
+    _identical_reports(
+        assess_robustness(energy.schedule, 16, rng=seed + 1),
+        assess_robustness(robust.schedule, 16, rng=seed + 1),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ps=scheduled_problems(max_n=10),
+    seed=st.integers(0, 2**31 - 1),
+    active=st.floats(0.0, 5.0),
+    link=st.floats(0.0, 2.0),
+)
+def test_pricing_is_a_pure_read(ps, seed, active, link):
+    """``energy_of`` never perturbs the schedule or anything derived
+    from it — the assessment after pricing equals the one before."""
+    _, schedule = ps
+    before = assess_robustness(schedule, 8, rng=seed)
+    orders_before = _orders(schedule)
+
+    power = PowerModel.uniform(
+        schedule.m, active=active, idle=0.0, link_power=link
+    )
+    breakdown = power.energy_of(schedule)
+    assert np.isfinite(breakdown.total)
+
+    assert _orders(schedule) == orders_before
+    _identical_reports(assess_robustness(schedule, 8, rng=seed), before)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ps=scheduled_problems(max_n=10), seed=st.integers(0, 2**31 - 1))
+def test_null_power_prices_everything_to_zero(ps, seed):
+    """The null model's total is exactly 0 J for any schedule and any
+    realization matrix — the degenerate path truly has nothing to vary."""
+    _, schedule = ps
+    power = PowerModel.null(schedule.m)
+    assert power.is_null
+    assert power.energy_of(schedule).total == 0.0
+    durations = schedule.realize_durations(4, rng=seed)
+    assert np.all(power.batch_energies(schedule, durations) == 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ps=scheduled_problems(min_n=1, max_n=10),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_batch_energies_matches_per_realization_pricing(ps, seed):
+    """The vectorized MC pricing agrees with pricing each realization
+    through ``energy_of`` one at a time."""
+    _, schedule = ps
+    power = PowerModel.default(schedule.m)
+    durations = schedule.realize_durations(3, rng=seed)
+    batched = power.batch_energies(schedule, durations)
+    singles = [
+        power.energy_of(schedule, durations=row).total for row in durations
+    ]
+    assert np.allclose(batched, singles, rtol=1e-10, atol=1e-9)
