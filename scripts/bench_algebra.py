@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Benchmark the component-algebra scheduler and record median timings.
+
+Times :mod:`repro.algebra` on the paper-sized instance (100 tasks, 4
+processors, rng pinned) and writes the medians to ``BENCH_algebra.json``
+at the repository root:
+
+* ``heft_tuple`` / ``cpop_tuple`` / ``peft_tuple`` / ``minmin_tuple`` —
+  the four legacy-equivalent component tuples (each bit-identical to
+  its reference class, so these ARE the legacy costs plus dispatch
+  overhead);
+* ``heft_legacy`` — the reference :class:`HeftScheduler` itself, the
+  yardstick for that dispatch overhead;
+* ``lookahead`` — ``heft-lookahead``, the most expensive selection axis
+  (per-candidate place / probe-children / unplace);
+* ``padded_q90`` — ``heft-q90``, the proxy-problem padding path;
+* ``rank_context`` — priority computation alone for the OCT ranking
+  (the dominant non-loop cost).
+
+Extra top-level blocks in the JSON are always preserved;
+``--baseline NAME`` snapshots the existing file's sections into a new
+``NAME`` block before the fresh numbers overwrite them — the same
+mechanism as the other ``scripts/bench_*.py`` recorders.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_algebra.py            # write JSON
+    PYTHONPATH=src python scripts/bench_algebra.py --no-write # print only
+    PYTHONPATH=src python scripts/bench_algebra.py \
+        --baseline baseline_seed   # archive current medians first
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from bench_util import bench_meta, median_ms, write_record
+
+from repro.algebra import Components, component_scheduler, rank_context
+from repro.core.problem import SchedulingProblem
+from repro.graph.generator import DagParams
+from repro.heuristics.heft import HeftScheduler
+from repro.platform.uncertainty import UncertaintyParams
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SEED = 20060925
+N_TASKS = 100
+
+
+def build_kernels() -> dict:
+    """The benchmark kernels on the paper-sized instance (rng pinned)."""
+    problem = SchedulingProblem.random(
+        m=4,
+        dag_params=DagParams(n=N_TASKS),
+        uncertainty_params=UncertaintyParams(mean_ul=2.0),
+        rng=0,
+    )
+    oct_components = Components(ranking="oct", selection="oct",
+                                insertion="insertion", order="ready")
+
+    def solve(name):
+        scheduler = component_scheduler(name)
+        return lambda: scheduler.schedule(problem)
+
+    return {
+        "heft_tuple": solve("heft"),
+        "cpop_tuple": solve("cpop"),
+        "peft_tuple": solve("peft"),
+        "minmin_tuple": solve("minmin"),
+        "heft_legacy": lambda: HeftScheduler().schedule(problem),
+        "lookahead": solve("heft-lookahead"),
+        "padded_q90": solve("heft-q90"),
+        "rank_context": lambda: rank_context(oct_components, problem),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print timings without updating BENCH_algebra.json",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=2.0,
+        help="per-kernel time budget in seconds (default: 2)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_algebra.json",
+        help="output path (default: BENCH_algebra.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="NAME",
+        help="snapshot the existing file's sections into a top-level NAME "
+        "block before writing the fresh numbers (refused if NAME exists)",
+    )
+    args = parser.parse_args(argv)
+
+    kernels = build_kernels()
+    results = {}
+    for name, fn in kernels.items():
+        median, rounds = median_ms(fn, budget_s=args.budget)
+        results[name] = {"median_ms": round(median, 4), "rounds": rounds}
+        print(f"{name:24s} {median:10.3f} ms   ({rounds} rounds)")
+
+    record = {
+        "kernels": results,
+        "meta": bench_meta(
+            workload=f"algebra_n{N_TASKS}_m4_ul2",
+            seed=SEED,
+        ),
+    }
+    if not args.no_write:
+        return write_record(
+            args.output,
+            record,
+            sections=("kernels", "meta"),
+            baseline=args.baseline,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,9 +24,16 @@ evaluation), :mod:`repro.heuristics` (HEFT & friends), :mod:`repro.ga`
 :mod:`repro.moop` (Pareto/NSGA-II extension), :mod:`repro.experiments`
 (per-figure drivers), :mod:`repro.sim` (event-driven oracle),
 :mod:`repro.faults` (fault injection & reactive policies),
-:mod:`repro.energy` (energy pricing, DVFS and k-fault replication).
+:mod:`repro.energy` (energy pricing, DVFS and k-fault replication),
+:mod:`repro.algebra` (composable list-scheduling components).
 """
 
+from repro.algebra import (
+    CATALOGUE,
+    Components,
+    ComponentScheduler,
+    component_scheduler,
+)
 from repro.core.problem import SchedulingProblem
 from repro.core.robust import RobustResult, RobustScheduler
 from repro.energy import (
@@ -111,6 +118,10 @@ __all__ = [
     "AnnealingScheduler",
     "AnnealingParams",
     "RandomScheduler",
+    "Components",
+    "ComponentScheduler",
+    "CATALOGUE",
+    "component_scheduler",
     "GeneticScheduler",
     "GAParams",
     "MakespanFitness",

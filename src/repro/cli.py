@@ -16,6 +16,7 @@ Usage::
     python -m repro stream --grid --workers 4       # policy x load curves
     python -m repro energy --epsilons 1.0 1.3 1.6   # energy frontier study
     python -m repro energy --k 2 --workers 4        # 2-fault replication
+    python -m repro algo-grid --rank-by r1          # scheduler catalogue sweep
 
 or via the installed entry point ``repro-sched``.
 """
@@ -29,8 +30,14 @@ import time
 from typing import Sequence
 
 from repro.experiments.config import PAPER_ULS, SCALES, ExperimentConfig
+from repro.service.protocol import SOLVERS
 
 __all__ = ["main", "build_parser"]
+
+# Graph families of the algo-grid sweep.  Kept as a literal so parser
+# construction stays import-light; pinned to
+# repro.experiments.algo_grid.FAMILIES by tests/unit/test_algebra.py.
+ALGO_FAMILIES = ("layered", "gauss", "fft", "forkjoin")
 
 
 def _positive_int(text: str) -> int:
@@ -374,6 +381,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress output"
     )
 
+    algo = sub.add_parser(
+        "algo-grid",
+        help="sweep the component-algebra scheduler catalogue across "
+        "graph families (see docs/algorithms.md)",
+    )
+    instance_args(algo)
+    algo.add_argument(
+        "--combos",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="catalogue combinations to sweep (default: all; "
+        "see --list-combos)",
+    )
+    algo.add_argument(
+        "--families",
+        nargs="+",
+        default=list(ALGO_FAMILIES),
+        choices=ALGO_FAMILIES,
+        help="graph families to draw instances from (default: all)",
+    )
+    algo.add_argument(
+        "--instances",
+        type=_positive_int,
+        default=3,
+        help="instances per family (default: 3)",
+    )
+    algo.add_argument(
+        "--realizations",
+        type=_positive_int,
+        default=200,
+        help="Monte-Carlo realizations per cell (default: 200)",
+    )
+    algo.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        help="worker processes (default: in-process; results are "
+        "bit-identical for any value)",
+    )
+    algo.add_argument(
+        "--rank-by",
+        choices=("makespan", "r1", "r2"),
+        default="makespan",
+        help="ranking criterion for the summary table (default: makespan)",
+    )
+    algo.add_argument(
+        "--list-combos",
+        action="store_true",
+        help="print the scheduler catalogue and exit",
+    )
+    algo.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+
     stream = sub.add_parser(
         "stream",
         help="run a streaming oversubscribed workload with shedding "
@@ -562,9 +624,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--solver",
-        choices=("heft", "cpop", "peft", "minmin", "ga"),
+        choices=SOLVERS,
         default="ga",
-        help="which solver tier to request",
+        help="which solver to request (every non-GA name is fast-tier, "
+        "including the component-algebra catalogue; see docs/algorithms.md)",
     )
     submit.add_argument("--epsilon", type=float, default=1.0, help="GA eps budget")
     submit.add_argument(
@@ -849,6 +912,35 @@ def _run_faults(args: argparse.Namespace) -> str:
         progress=_progress(args),
     )
     return results.to_table()
+
+
+def _run_algo_grid(args: argparse.Namespace) -> str:
+    from repro.algebra import CATALOGUE
+    from repro.experiments.algo_grid import run_algo_grid
+
+    if args.list_combos:
+        lines = ["scheduler catalogue (ranking/selection/insertion/order):"]
+        for name, comps in CATALOGUE.items():
+            lines.append(f"  {name:16s} {comps.spec}")
+        return "\n".join(lines)
+
+    combos = tuple(dict.fromkeys(args.combos)) if args.combos else None
+    try:
+        results = run_algo_grid(
+            seed=args.seed,
+            combos=combos,
+            families=tuple(dict.fromkeys(args.families)),
+            n_instances=args.instances,
+            n_tasks=args.tasks,
+            m=args.procs,
+            mean_ul=args.ul,
+            n_realizations=args.realizations,
+            n_jobs=args.workers if args.workers is not None else 1,
+            progress=_progress(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    return results.to_table(args.rank_by)
 
 
 def _run_energy(args: argparse.Namespace) -> str:
@@ -1145,6 +1237,8 @@ def _dispatch(args: argparse.Namespace) -> str:
         return _run_faults(args)
     if args.command == "energy":
         return _run_energy(args)
+    if args.command == "algo-grid":
+        return _run_algo_grid(args)
     if args.command == "stream":
         return _run_stream(args)
     if args.command == "serve":

@@ -17,6 +17,7 @@ Figs. 7/8           :func:`~repro.experiments.best_eps.run_best_eps`
 ==================  ==========================================
 """
 
+from repro.experiments.algo_grid import AlgoGridResults, run_algo_grid
 from repro.experiments.best_eps import BestEpsResult, run_best_eps
 from repro.experiments.config import SCALES, ExperimentConfig, Scale
 from repro.experiments.eps_one import EpsOneResult, run_eps_one
@@ -56,4 +57,6 @@ __all__ = [
     "StreamGridResults",
     "run_zoo",
     "ZooResult",
+    "run_algo_grid",
+    "AlgoGridResults",
 ]

@@ -8,8 +8,23 @@
   paper, as an extra baseline for tests and ablations.
 * :class:`~repro.heuristics.minmin.MinMinScheduler` — a min-min style
   ready-list scheduler.
+* :class:`~repro.heuristics.peft.PeftScheduler` — PEFT (Arabnejad &
+  Barbosa), ranking and selecting via the optimistic cost table.
+* :class:`~repro.heuristics.padded.QuantileHeftScheduler` — HEFT run on
+  quantile-padded times, rebound to the true expected-time problem.
+* :class:`~repro.heuristics.annealing.AnnealingScheduler` — simulated
+  annealing over (order, assignment) pairs, a non-list-based baseline.
 * :class:`~repro.heuristics.random_sched.RandomScheduler` — uniformly
   random valid schedules (GA initial population, Sec. 4.2.2).
+
+Every list scheduler above decomposes into four orthogonal choices —
+how tasks are *ranked*, how a processor is *selected*, whether slots may
+be *inserted* into idle gaps, and in what *order* tasks are visited.
+:mod:`repro.algebra` makes that decomposition explicit: each class here
+(except the annealer and the random baseline) is reproduced bit-identically
+by a named :class:`~repro.algebra.Components` tuple, and new schedulers
+are built by mixing axes rather than subclassing.  The classes in this
+package remain the verified references.
 
 All heuristics see only the *expected* execution-time matrix, matching the
 paper's information model.

@@ -49,16 +49,24 @@ class PartialSchedule:
     problem:
         The scheduling problem; the expected execution-time matrix drives
         all placement decisions (the paper's information model).
+    append_only:
+        When true, :meth:`eft` never fills idle gaps between already
+        placed tasks — a task can only start after the processor's last
+        committed finish (the component algebra's ``append`` insertion
+        policy).  The default preserves the classic insertion policy.
 
     Notes
     -----
-    ``eft(task, proc)`` is side-effect free; ``place(task, proc)`` commits.
-    A task may only be placed after all its predecessors (the caller's
-    priority order must be topological over placed prefixes, which holds
-    for rank-based and ready-list orders alike).
+    ``eft(task, proc)`` is side-effect free; ``place(task, proc)`` commits
+    and ``unplace(task)`` is its exact inverse (used by lookahead
+    selection to probe placements).  A task may only be placed after all
+    its predecessors (the caller's priority order must be topological
+    over placed prefixes, which holds for rank-based and ready-list
+    orders alike).
     """
 
     problem: SchedulingProblem
+    append_only: bool = False
     slots: list[list[_Slot]] = field(init=False)
     finish_time: np.ndarray = field(init=False)
     proc_of: np.ndarray = field(init=False)
@@ -98,6 +106,9 @@ class PartialSchedule:
 
     def _find_slot(self, proc: int, ready: float, duration: float) -> float:
         """Insertion policy: earliest start >= *ready* of a *duration* gap."""
+        if self.append_only:
+            row = self.slots[proc]
+            return max(ready, row[-1].finish if row else 0.0)
         prev_finish = 0.0
         for slot in self.slots[proc]:
             start = max(ready, prev_finish)
@@ -148,6 +159,26 @@ class PartialSchedule:
         self.finish_time[task] = fin
         self.proc_of[task] = proc
         return start, fin
+
+    def unplace(self, task: int) -> None:
+        """Exact inverse of :meth:`place` (lookahead probing).
+
+        Only safe for a task none of whose successors have been placed —
+        which is always true for the most recently placed task of any
+        topological placement order.
+        """
+        proc = int(self.proc_of[task])
+        if proc < 0:
+            raise ValueError(f"task {task} is not placed")
+        row = self.slots[proc]
+        for i, slot in enumerate(row):
+            if slot.task == task:
+                del row[i]
+                break
+        else:  # pragma: no cover - place() always records the slot
+            raise RuntimeError(f"slot for task {task} missing on proc {proc}")
+        self.finish_time[task] = np.nan
+        self.proc_of[task] = -1
 
     # ------------------------------------------------------------------ #
     # Export

@@ -45,6 +45,7 @@ from repro.service.comm import connect as comm_connect
 from repro.service.protocol import (
     ERROR_CODES,
     PROTOCOL_VERSION,
+    SOLVERS,
     ProtocolError,
     ok_response,
 )
@@ -676,6 +677,10 @@ class Coordinator(SchedulerService):
                 "steal_margin": self.topology.steal_margin,
             },
             ga={"inflight": total_inflight},
+            solvers={
+                "fast": [s for s in SOLVERS if s != "ga"],
+                "queued": ["ga"],
+            },
             shards=shards,
         )
 

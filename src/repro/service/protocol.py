@@ -40,6 +40,7 @@ from typing import Any
 __all__ = [
     "PROTOCOL_VERSION",
     "SOLVERS",
+    "ALGEBRA_SOLVERS",
     "FAST_SOLVERS",
     "OPS",
     "ERROR_CODES",
@@ -53,9 +54,32 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-#: Solvers a ``solve`` request may name.  The heuristics form the fast
+#: Component-algebra catalogue entries served as additional fast-tier
+#: solvers.  Kept as a literal so this module stays stdlib-only; pinned
+#: to ``repro.algebra.ALGEBRA_SOLVERS`` by tests/unit/test_algebra.py.
+ALGEBRA_SOLVERS = (
+    "heft-append",
+    "heft-greedy",
+    "heft-lookahead",
+    "heft-q90",
+    "heft-ready",
+    "blevel-eft",
+    "blevel-append",
+    "cpop-append",
+    "cpop-unpinned",
+    "peft-append",
+    "peft-eft",
+    "peft-lookahead",
+    "minmin-append",
+    "maxmin",
+    "random-eft",
+    "random-append",
+)
+
+#: Solvers a ``solve`` request may name.  The heuristics — the four
+#: legacy names plus the component-algebra catalogue — form the fast
 #: tier (served inline); ``"ga"`` is the queued tier (see admission.py).
-SOLVERS = ("heft", "cpop", "peft", "minmin", "ga")
+SOLVERS = ("heft", "cpop", "peft", "minmin") + ALGEBRA_SOLVERS + ("ga",)
 FAST_SOLVERS = frozenset(s for s in SOLVERS if s != "ga")
 
 OPS = ("solve", "status", "ping", "shutdown")

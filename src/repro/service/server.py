@@ -50,6 +50,7 @@ from repro.service.comm import listen as comm_listen
 from repro.service.warmstart import WarmStartStore
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    SOLVERS,
     ProtocolError,
     decode,
     error_response,
@@ -655,5 +656,9 @@ class SchedulerService:
                 "inflight": self._ga_inflight,
                 "queue_depth": queue_depth,
                 "queue_limit": self.config.ga_queue_limit,
+            },
+            solvers={
+                "fast": [s for s in SOLVERS if s != "ga"],
+                "queued": ["ga"],
             },
         )

@@ -41,7 +41,14 @@ __all__ = ["heuristic_for", "build_ga_params", "solve_params", "execute_payload"
 
 
 def heuristic_for(solver: str):
-    """The scheduler instance behind one fast-tier solver name."""
+    """The scheduler instance behind one fast-tier solver name.
+
+    The four legacy names map to the verified reference classes; every
+    other fast-tier name resolves through the component-algebra
+    catalogue (bit-identical for the legacy names either way, so the
+    split is about keeping the reference implementations on the paths
+    the paper's experiments exercise).
+    """
     from repro.heuristics import (
         CpopScheduler,
         HeftScheduler,
@@ -55,7 +62,11 @@ def heuristic_for(solver: str):
         "peft": PeftScheduler,
         "minmin": MinMinScheduler,
     }
-    return classes[solver]()
+    if solver in classes:
+        return classes[solver]()
+    from repro.algebra import component_scheduler
+
+    return component_scheduler(solver)
 
 
 def build_ga_params(overrides: dict[str, int] | None) -> GAParams:
